@@ -1,0 +1,49 @@
+// Ablation (§4.1): the validation-reduction optimizations — skip validation
+// when contains/insert finds the key, and use exec instead of vexec for
+// leaf/one-child deletions. Measured with the optimization on vs off across
+// search-heavy and update-heavy mixes.
+#include <cstdio>
+#include <memory>
+
+#include "bench_fw/driver.hpp"
+#include "trees/int_bst_pathcas.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+
+namespace {
+
+double cell(bool reduceValidation, const TrialConfig& cfg) {
+  const TrialResult r = runCell(
+      [&] {
+        return std::make_unique<ds::IntBstPathCas<>>(
+            ds::IntBstOptions{.reduceValidation = reduceValidation});
+      },
+      cfg);
+  recl::EbrDomain::instance().drainAll();
+  return r.mops;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n== Ablation: §4.1 validation-reduction (int-bst-pathcas, "
+              "4 threads) ==\n");
+  std::printf("%-10s %14s %14s %9s\n", "updates", "optimized", "always-vexec",
+              "speedup");
+  for (double updates : {0.0, 1.0, 10.0, 50.0, 100.0}) {
+    TrialConfig cfg;
+    cfg.threads = 4;
+    cfg.keyRange = scaledKeys(1 << 16, 1000 * 1000);
+    cfg.durationMs = scaledDurationMs(120, 2000);
+    cfg.insertFrac = updates / 200.0;
+    cfg.deleteFrac = updates / 200.0;
+    const double on = cell(true, cfg);
+    const double off = cell(false, cfg);
+    std::printf("%8.0f%% %14.3f %14.3f %8.2fx\n", updates, on, off,
+                off > 0 ? on / off : 0.0);
+    std::printf("csv,ablation_validation,%.0f,%.3f,%.3f\n", updates, on, off);
+    std::fflush(stdout);
+  }
+  return 0;
+}

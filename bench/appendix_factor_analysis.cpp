@@ -1,0 +1,64 @@
+// Appendix figures 26/27: factor analysis — throughput, cycles/op, page
+// faults/op and average key depth for the unbalanced and balanced trees at
+// {1%, 10%, 100%} updates. Hardware cache-miss counters are substituted by
+// the structural drivers (avg key depth, footprint) per DESIGN.md §1.
+#include <sys/resource.h>
+
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+long pageFaults() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_minflt + ru.ru_majflt;
+}
+
+template <typename Adapter>
+void analyze(const TrialConfig& cfg, double updates) {
+  auto set = std::make_unique<Adapter>();
+  const std::int64_t prefillSum = prefillHalf(*set, cfg.keyRange);
+  const long pf0 = pageFaults();
+  const TrialResult r = runTrial(*set, cfg, prefillSum);
+  const long pf1 = pageFaults();
+  std::printf("%-22s %6.0f%% %10.3f %12llu %12.6f %10.2f %10.2f\n",
+              Adapter::name().c_str(), updates, r.mops,
+              static_cast<unsigned long long>(r.cyclesPerOp),
+              static_cast<double>(pf1 - pf0) /
+                  static_cast<double>(r.totalOps ? r.totalOps : 1),
+              set->avgKeyDepth(),
+              static_cast<double>(set->footprintBytes()) / (1024.0 * 1024.0));
+  std::fflush(stdout);
+  set.reset();
+  recl::EbrDomain::instance().drainAll();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n== Appendix (Figs 26/27): factor analysis, 4 threads ==\n");
+  std::printf("%-22s %7s %10s %12s %12s %10s %10s\n", "algorithm", "upd",
+              "Mops/s", "cycles/op", "faults/op", "avg depth", "mem MiB");
+  for (double updates : {1.0, 10.0, 100.0}) {
+    TrialConfig cfg;
+    cfg.threads = 4;
+    cfg.keyRange = scaledKeys(1 << 16, 1000 * 1000);
+    cfg.durationMs = scaledDurationMs(120, 2000);
+    cfg = withUpdates(cfg, updates);
+    // Unbalanced (Fig 26).
+    analyze<PathCasBstAdapter<false>>(cfg, updates);
+    analyze<EllenAdapter>(cfg, updates);
+    analyze<TicketAdapter>(cfg, updates);
+    // Balanced (Fig 27).
+    analyze<PathCasAvlAdapter<false>>(cfg, updates);
+    analyze<TmAvlAdapter<stm::NOrec>>(cfg, updates);
+    analyze<TmAvlAdapter<stm::TL2>>(cfg, updates);
+  }
+  return 0;
+}

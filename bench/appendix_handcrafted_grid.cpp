@@ -1,0 +1,32 @@
+// Appendix figures 21-23: hand-crafted unbalanced and balanced BSTs across
+// the full {1%, 10%, 100%} × {small, medium, large keyrange} grid.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+int main() {
+  const auto threads = defaultThreads();
+  for (std::int64_t keyRange :
+       {scaledKeys(1 << 13, 100 * 1000), scaledKeys(1 << 16, 1000 * 1000),
+        scaledKeys(1 << 18, 10 * 1000 * 1000)}) {
+    for (double updates : {1.0, 10.0, 100.0}) {
+      TrialConfig base;
+      base.keyRange = keyRange;
+      base.durationMs = scaledDurationMs(80, 2000);
+      base = withUpdates(base, updates);
+      printHeader("Appendix (Figs 21-23): handcrafted trees, keyrange " +
+                      std::to_string(keyRange) + ", " +
+                      std::to_string((int)updates) + "% updates",
+                  threads);
+      sweepThreads<PathCasBstAdapter<false>>("figs21_23", threads, base);
+      sweepThreads<EllenAdapter>("figs21_23", threads, base);
+      sweepThreads<TicketAdapter>("figs21_23", threads, base);
+      sweepThreads<PathCasAvlAdapter<false>>("figs21_23", threads, base);
+      sweepThreads<TmAvlAdapter<stm::GlobalLockTm>>("figs21_23", threads,
+                                                    base);
+    }
+  }
+  return 0;
+}

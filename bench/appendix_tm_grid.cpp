@@ -1,0 +1,73 @@
+// Appendix figures 18/19/24/25: TM-based unbalanced and balanced BSTs at
+// 10% updates across key-range sizes, with abort rates. Reproduces the
+// throughput rows plus the "abort rate (%)" series from the TM statistics.
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+template <typename Adapter>
+void sweepWithAborts(const std::string& exp, const std::vector<int>& threads,
+                     const TrialConfig& base) {
+  std::vector<double> mops, abortPct;
+  for (int t : threads) {
+    TrialConfig cfg = base;
+    cfg.threads = t;
+    auto set = std::make_unique<Adapter>();
+    const std::int64_t prefillSum = prefillHalf(*set, cfg.keyRange);
+    const auto s0 = set->tm->totalStats();
+    const TrialResult r = runTrial(*set, cfg, prefillSum);
+    const auto s1 = set->tm->totalStats();
+    const double attempts = static_cast<double>((s1.commits - s0.commits) +
+                                                (s1.aborts - s0.aborts));
+    mops.push_back(r.mops);
+    abortPct.push_back(
+        attempts > 0 ? 100.0 * static_cast<double>(s1.aborts - s0.aborts) /
+                           attempts
+                     : 0.0);
+    std::printf("csv,%s,%s,%d,%lld,%.3f,%.2f\n", exp.c_str(),
+                Adapter::name().c_str(), t,
+                static_cast<long long>(cfg.keyRange), r.mops,
+                abortPct.back());
+    set.reset();
+    recl::EbrDomain::instance().drainAll();
+  }
+  printRow(Adapter::name() + " Mops", mops);
+  printRow(Adapter::name() + " abort%", abortPct);
+}
+
+}  // namespace
+
+int main() {
+  const auto threads = defaultThreads();
+  for (std::int64_t keyRange :
+       {scaledKeys(1 << 13, 100 * 1000), scaledKeys(1 << 16, 1000 * 1000),
+        scaledKeys(1 << 18, 10 * 1000 * 1000)}) {
+    TrialConfig base;
+    base.keyRange = keyRange;
+    base.durationMs = scaledDurationMs(100, 2000);
+    base = withUpdates(base, 10.0);
+
+    printHeader("Appendix (Figs 18/24): TM-based unbalanced BSTs, keyrange " +
+                    std::to_string(keyRange) + ", 10% updates",
+                threads);
+    sweepWithAborts<TmBstAdapter<stm::NOrec>>("figs18_24", threads, base);
+    sweepWithAborts<TmBstAdapter<stm::TL2>>("figs18_24", threads, base);
+    sweepWithAborts<TmBstAdapter<stm::TLE>>("figs18_24", threads, base);
+    sweepThreads<PathCasBstAdapter<false>>("figs18_24", threads, base);
+
+    printHeader("Appendix (Figs 19/25): TM-based balanced BSTs, keyrange " +
+                    std::to_string(keyRange) + ", 10% updates",
+                threads);
+    sweepWithAborts<TmAvlAdapter<stm::NOrec>>("figs19_25", threads, base);
+    sweepWithAborts<TmAvlAdapter<stm::TL2>>("figs19_25", threads, base);
+    sweepWithAborts<TmAvlAdapter<stm::TLE>>("figs19_25", threads, base);
+    sweepThreads<PathCasAvlAdapter<false>>("figs19_25", threads, base);
+  }
+  return 0;
+}

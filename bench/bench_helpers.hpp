@@ -1,0 +1,51 @@
+// Shared plumbing for the figure-reproduction benches: thread sweeps over an
+// adapter type, EBR drain between cells, and CSV emission alongside the
+// human-readable rows (EXPERIMENTS.md records the CSV).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_fw/adapters.hpp"
+#include "bench_fw/driver.hpp"
+#include "recl/ebr.hpp"
+
+namespace pathcas::bench {
+
+inline std::vector<int> defaultThreads() { return {1, 2, 4, 8}; }
+
+/// Run `Adapter` across thread counts; prints a row and a CSV block line per
+/// cell. Returns Mops per thread count.
+template <typename Adapter>
+std::vector<double> sweepThreads(const std::string& experiment,
+                                 const std::vector<int>& threads,
+                                 TrialConfig base) {
+  std::vector<double> mops;
+  for (int t : threads) {
+    TrialConfig cfg = base;
+    cfg.threads = t;
+    const TrialResult r =
+        runCell([] { return std::make_unique<Adapter>(); }, cfg);
+    mops.push_back(r.mops);
+    std::printf(
+        "csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu\n", experiment.c_str(),
+        Adapter::name().c_str(), t, static_cast<long long>(cfg.keyRange),
+        (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
+        static_cast<unsigned long long>(r.totalOps),
+        static_cast<unsigned long long>(r.cyclesPerOp));
+    recl::EbrDomain::instance().drainAll();
+  }
+  printRow(Adapter::name(), mops);
+  return mops;
+}
+
+/// Update-rate helper: the paper's U% updates = U/2% insert + U/2% delete.
+inline TrialConfig withUpdates(TrialConfig cfg, double updatePercent) {
+  cfg.insertFrac = updatePercent / 200.0;
+  cfg.deleteFrac = updatePercent / 200.0;
+  return cfg;
+}
+
+}  // namespace pathcas::bench

@@ -1,0 +1,83 @@
+// Appendix H: dynamic connectivity throughput. Random link/cut/connected
+// mixes over a forest of small components (component sizes are bounded by
+// the PathCAS read-set budget; see DESIGN.md). No paper figure gives
+// absolute numbers for this structure — the appendix claims lock-freedom
+// and correctness; this bench demonstrates it scales with mostly-read mixes.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_helpers.hpp"
+#include "structs/dynconn_pathcas.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+
+namespace {
+
+double runMix(int threads, int vertices, int queryPct, int durationMs) {
+  ds::DynConnPathCas graph(vertices);
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(static_cast<std::size_t>(threads), 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(17 + static_cast<std::uint64_t>(t));
+      std::uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int v = static_cast<int>(rng.nextBounded(vertices));
+        int w = static_cast<int>(rng.nextBounded(vertices));
+        if (w == v) w = (w + 1) % vertices;
+        const auto dice = rng.nextBounded(100);
+        if (dice < static_cast<std::uint64_t>(queryPct)) {
+          (void)graph.connected(v, w);
+        } else if (dice % 2 == 0) {
+          graph.link(v, w);
+        } else {
+          graph.cut(v, w);
+        }
+        ++n;
+      }
+      ops[static_cast<std::size_t>(t)] = n;
+    });
+  }
+  StopWatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(durationMs));
+  stop.store(true);
+  for (auto& th : workers) th.join();
+  const double sec = sw.elapsedSeconds();
+  graph.checkInvariants();
+  std::uint64_t total = 0;
+  for (auto n : ops) total += n;
+  return static_cast<double>(total) / sec / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  const int durationMs = scaledDurationMs(150, 1000);
+  // 32 vertices keeps worst-case cut visit counts (2x tour + adjacency)
+  // comfortably inside the PathCAS read-set budget (see header comment).
+  const int vertices = 32;
+  std::printf("\n== Appendix H: dynamic connectivity (Euler-tour lists), "
+              "%d vertices ==\n",
+              vertices);
+  std::printf("%-14s", "query%");
+  for (int t : defaultThreads()) std::printf("  t=%-8d", t);
+  std::printf("   (Mops/s)\n");
+  for (int queryPct : {90, 50, 10}) {
+    std::printf("%-14d", queryPct);
+    for (int t : defaultThreads()) {
+      const double mops = runMix(t, vertices, queryPct, durationMs);
+      std::printf("  %-10.3f", mops);
+      std::fflush(stdout);
+      recl::EbrDomain::instance().drainAll();
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 1: "AVL trees using PathCAS vs state-of-the-art transactional
+// memory. 10% updates, 1M key trees." (scaled; PATHCAS_BENCH_SCALE=full for
+// paper-size key ranges). Expected shape: both PathCAS AVL variants well
+// above every TM-based AVL, with TLE the closest competitor.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+int main() {
+  TrialConfig base;
+  base.keyRange = scaledKeys(1 << 17, 2 * 1000 * 1000);
+  base.durationMs = scaledDurationMs(150, 3000);
+  base = withUpdates(base, 10.0);
+  const auto threads = defaultThreads();
+
+  printHeader("Figure 1: AVL via PathCAS vs TM (10% updates, keyrange " +
+                  std::to_string(base.keyRange) + ")",
+              threads);
+  sweepThreads<PathCasAvlAdapter<false>>("fig01", threads, base);
+  sweepThreads<PathCasAvlAdapter<true>>("fig01", threads, base);
+  sweepThreads<TmAvlAdapter<stm::TLE>>("fig01", threads, base);
+  sweepThreads<TmAvlAdapter<stm::NOrec>>("fig01", threads, base);
+  sweepThreads<TmAvlAdapter<stm::TL2>>("fig01", threads, base);
+  sweepThreads<TmAvlAdapter<stm::GlobalLockTm>>("fig01", threads, base);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 3 (bottom row): balanced BSTs across update rates {1%, 10%, 100%}.
+// Expected shape: int-avl-pathcas competitive at low update rates and within
+// a modest factor at 100% updates; TM-based AVLs trail badly; the coarse
+// (global-lock) AVL is the floor beyond 1 thread.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+int main() {
+  const auto threads = defaultThreads();
+  for (double updates : {1.0, 10.0, 100.0}) {
+    TrialConfig base;
+    base.keyRange = scaledKeys(1 << 17, 20 * 1000 * 1000);
+    base.durationMs = scaledDurationMs(120, 3000);
+    base = withUpdates(base, updates);
+    printHeader("Figure 3 (balanced BSTs): " + std::to_string((int)updates) +
+                    "% updates, keyrange " + std::to_string(base.keyRange),
+                threads);
+    sweepThreads<PathCasAvlAdapter<false>>("fig03b", threads, base);
+    sweepThreads<PathCasAvlAdapter<true>>("fig03b", threads, base);
+    sweepThreads<TmAvlAdapter<stm::TLE>>("fig03b", threads, base);
+    sweepThreads<TmAvlAdapter<stm::NOrec>>("fig03b", threads, base);
+    sweepThreads<TmAvlAdapter<stm::TL2>>("fig03b", threads, base);
+    sweepThreads<TmAvlAdapter<stm::GlobalLockTm>>("fig03b", threads, base);
+  }
+  return 0;
+}

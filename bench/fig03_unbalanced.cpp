@@ -1,0 +1,28 @@
+// Figure 3 (top row): unbalanced BSTs across update rates {1%, 10%, 100%}.
+// Paper machine: AMD, 10M keys; here scaled (PATHCAS_BENCH_SCALE=full for
+// larger ranges). Expected shape: int-bst-pathcas leads or ties the
+// hand-crafted external BSTs, with the gap growing as the internal tree's
+// lower average key depth pays off.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+int main() {
+  const auto threads = defaultThreads();
+  for (double updates : {1.0, 10.0, 100.0}) {
+    TrialConfig base;
+    base.keyRange = scaledKeys(1 << 17, 20 * 1000 * 1000);
+    base.durationMs = scaledDurationMs(120, 3000);
+    base = withUpdates(base, updates);
+    printHeader("Figure 3 (unbalanced BSTs): " + std::to_string((int)updates) +
+                    "% updates, keyrange " + std::to_string(base.keyRange),
+                threads);
+    sweepThreads<PathCasBstAdapter<false>>("fig03u", threads, base);
+    sweepThreads<PathCasBstAdapter<true>>("fig03u", threads, base);
+    sweepThreads<EllenAdapter>("fig03u", threads, base);
+    sweepThreads<TicketAdapter>("fig03u", threads, base);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5: "Detailed analysis for 100% updates" — per-operation cycles,
+// average key depth and memory footprint for the main trees. The paper's
+// argument: int-bst-pathcas executes MORE instructions per op yet FEWER
+// cycles and LLC misses, because the internal tree is shallower and smaller
+// than the external baselines. We reproduce the structural drivers (avg key
+// depth, footprint) plus rdtsc cycles/op.
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+template <typename Adapter>
+void analyze(const TrialConfig& cfg) {
+  auto set = std::make_unique<Adapter>();
+  const std::int64_t prefillSum = prefillHalf(*set, cfg.keyRange);
+  const TrialResult r = runTrial(*set, cfg, prefillSum);
+  std::printf("%-22s %10.3f %12llu %10.2f %12.2f\n", Adapter::name().c_str(),
+              r.mops, static_cast<unsigned long long>(r.cyclesPerOp),
+              set->avgKeyDepth(),
+              static_cast<double>(set->footprintBytes()) / (1024.0 * 1024.0));
+  std::fflush(stdout);
+  set.reset();
+  recl::EbrDomain::instance().drainAll();
+}
+
+}  // namespace
+
+int main() {
+  TrialConfig cfg;
+  cfg.threads = 4;
+  cfg.keyRange = scaledKeys(1 << 17, 20 * 1000 * 1000);
+  cfg.durationMs = scaledDurationMs(250, 5000);
+  cfg = withUpdates(cfg, 100.0);  // 50% insert / 50% delete
+
+  std::printf(
+      "\n== Figure 5: detailed analysis, 100%% updates, %d threads, "
+      "keyrange %lld ==\n",
+      cfg.threads, static_cast<long long>(cfg.keyRange));
+  std::printf("%-22s %10s %12s %10s %12s\n", "algorithm", "Mops/s",
+              "cycles/op", "avg depth", "mem (MiB)");
+  analyze<EllenAdapter>(cfg);
+  analyze<TicketAdapter>(cfg);
+  analyze<PathCasBstAdapter<false>>(cfg);
+  analyze<TmAvlAdapter<stm::NOrec>>(cfg);
+  analyze<TmAvlAdapter<stm::TL2>>(cfg);
+  analyze<PathCasAvlAdapter<false>>(cfg);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 6: internal BST with PathCAS vs MCMS+ (HTM path) vs MCMS- (pure
+// software), 100% updates and 100% searches. Expected shape: PathCAS orders
+// of magnitude above both MCMS variants beyond a couple of threads — on the
+// software path MCMS writes descriptors into every node of the search path
+// (including near the root), collapsing under contention.
+#include <cstdio>
+
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+template <typename Adapter>
+double oneCell(const TrialConfig& cfg) {
+  const TrialResult r =
+      runCell([] { return std::make_unique<Adapter>(); }, cfg);
+  recl::EbrDomain::instance().drainAll();
+  return r.mops;
+}
+
+}  // namespace
+
+int main() {
+  TrialConfig base;
+  // Paper: 100,000 keys. Scaled down so MCMS path compares stay within the
+  // KCAS entry budget (2 per level) even for unlucky random BST depths.
+  base.keyRange = scaledKeys(1 << 13, 100 * 1000);
+  base.durationMs = scaledDurationMs(120, 2000);
+
+  std::printf("\n== Figure 6: PathCAS vs MCMS internal BST, keyrange %lld ==\n",
+              static_cast<long long>(base.keyRange));
+  std::printf("%-9s | %-30s | %-30s\n", "", "100% update", "100% search");
+  std::printf("%-9s | %9s %9s %9s | %9s %9s %9s\n", "threads", "PathCAS",
+              "MCMS+", "MCMS-", "PathCAS", "MCMS+", "MCMS-");
+  for (int t : defaultThreads()) {
+    TrialConfig upd = withUpdates(base, 100.0);
+    upd.threads = t;
+    TrialConfig srch = withUpdates(base, 0.0);
+    srch.threads = t;
+    const double pcU = oneCell<PathCasBstAdapter<false>>(upd);
+    const double mpU = oneCell<McmsBstAdapter<true>>(upd);
+    const double mmU = oneCell<McmsBstAdapter<false>>(upd);
+    const double pcS = oneCell<PathCasBstAdapter<false>>(srch);
+    const double mpS = oneCell<McmsBstAdapter<true>>(srch);
+    const double mmS = oneCell<McmsBstAdapter<false>>(srch);
+    std::printf("%-9d | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f\n", t, pcU,
+                mpU, mmU, pcS, mpS, mmS);
+    std::printf("csv,fig06,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", t, pcU, mpU,
+                mmU, pcS, mpS, mmS);
+    std::fflush(stdout);
+  }
+  return 0;
+}

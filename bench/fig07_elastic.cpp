@@ -1,0 +1,27 @@
+// Figure 7 / §5.2: elastic-transaction external BST vs a hand-crafted
+// lock-free external BST, 1% updates. The paper compares ext-bst-elastic
+// against ext-bst-lf2 (Natarajan-Mittal) in Synchrobench; our lock-free
+// proxy is the Ellen external BST (same family, middle of the paper's pack).
+// Expected shape: the elastic tree is far below the hand-crafted tree at
+// every thread count.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+int main() {
+  TrialConfig base;
+  base.keyRange = scaledKeys(1 << 17, 20 * 1000 * 1000);
+  base.durationMs = scaledDurationMs(150, 3000);
+  base = withUpdates(base, 1.0);
+  const auto threads = defaultThreads();
+
+  printHeader("Figure 7: elastic transactions vs lock-free external BST "
+              "(1% updates, keyrange " +
+                  std::to_string(base.keyRange) + ")",
+              threads);
+  sweepThreads<TmExtBstAdapter<stm::Elastic>>("fig07", threads, base);
+  sweepThreads<EllenAdapter>("fig07", threads, base);
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Microbenchmarks (google-benchmark) for the primitives themselves: casword
+// read overhead vs a plain atomic load, KCAS cost as a function of width,
+// visit+validate cost as a function of path length, and EBR pin cost. Not a
+// paper figure; establishes the engineering baselines DESIGN.md references.
+#include <benchmark/benchmark.h>
+
+#include "pathcas/pathcas.hpp"
+#include "recl/ebr.hpp"
+#include "util/thread_registry.hpp"
+
+namespace {
+
+using namespace pathcas;
+
+struct BenchNode {
+  casword<Version> ver;
+  casword<std::int64_t> val;
+};
+
+void BM_PlainAtomicLoad(benchmark::State& state) {
+  std::atomic<std::int64_t> x{42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.load(std::memory_order_acquire));
+  }
+}
+BENCHMARK(BM_PlainAtomicLoad);
+
+void BM_CaswordRead(benchmark::State& state) {
+  casword<std::int64_t> x(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.load());
+  }
+}
+BENCHMARK(BM_CaswordRead);
+
+void BM_KcasWidthSweep(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  std::vector<BenchNode> nodes(static_cast<std::size_t>(k));
+  for (auto _ : state) {
+    start();
+    for (int i = 0; i < k; ++i) {
+      const std::int64_t v = nodes[i].val;
+      add(nodes[i].val, v, v + 1);
+    }
+    benchmark::DoNotOptimize(exec());
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_KcasWidthSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_VisitValidateSweep(benchmark::State& state) {
+  const int pathLen = static_cast<int>(state.range(0));
+  std::vector<BenchNode> nodes(static_cast<std::size_t>(pathLen));
+  for (auto _ : state) {
+    start();
+    for (int i = 0; i < pathLen; ++i) visitVer(nodes[i].ver);
+    benchmark::DoNotOptimize(validate());
+  }
+  state.SetItemsProcessed(state.iterations() * pathLen);
+}
+BENCHMARK(BM_VisitValidateSweep)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_VexecOneVisitOneAdd(benchmark::State& state) {
+  BenchNode parent, target;
+  for (auto _ : state) {
+    start();
+    benchmark::DoNotOptimize(visit(&parent));
+    const std::int64_t v = target.val;
+    const Version tv = target.ver.load();
+    add(target.val, v, v + 1);
+    addVer(target.ver, tv, verBump(tv));
+    benchmark::DoNotOptimize(vexec());
+  }
+}
+BENCHMARK(BM_VexecOneVisitOneAdd);
+
+void BM_EbrPin(benchmark::State& state) {
+  auto& domain = recl::EbrDomain::instance();
+  for (auto _ : state) {
+    auto g = domain.pin();
+    benchmark::DoNotOptimize(&g);
+  }
+}
+BENCHMARK(BM_EbrPin);
+
+void BM_HtmEmulatedTransaction(benchmark::State& state) {
+  BenchNode n;
+  for (auto _ : state) {
+    start();
+    const std::int64_t v = n.val;
+    add(n.val, v, v + 1);
+    benchmark::DoNotOptimize(execFast());
+  }
+}
+BENCHMARK(BM_HtmEmulatedTransaction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

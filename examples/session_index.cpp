@@ -1,0 +1,83 @@
+// Scenario: a web tier's in-memory session index — the search-heavy ordered
+// index workload the paper's introduction motivates. Lookups dominate
+// (~95%), with a steady trickle of logins (inserts) and expirations
+// (deletes). The index must answer "is this session live, and what is its
+// user id" with high throughput from many server threads.
+//
+//   build/examples/session_index
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "trees/int_avl_pathcas.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+constexpr std::int64_t kSessionSpace = 1 << 18;
+constexpr int kServerThreads = 4;
+constexpr int kRunMs = 500;
+
+}  // namespace
+
+int main() {
+  pathcas::ds::IntAvlPathCas<std::int64_t, std::int64_t> sessions;
+
+  // Seed with half the session space "already logged in".
+  {
+    pathcas::Xoshiro256 rng(1);
+    for (std::int64_t i = 0; i < kSessionSpace / 2; ++i) {
+      const auto sid =
+          static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
+      sessions.insert(sid, /*userId=*/sid * 7);
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> lookups{0}, hits{0}, logins{0}, expiries{0};
+
+  std::vector<std::thread> servers;
+  for (int t = 0; t < kServerThreads; ++t) {
+    servers.emplace_back([&, t] {
+      pathcas::ThreadGuard guard;
+      pathcas::Xoshiro256 rng(100 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto sid =
+            static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
+        const auto dice = rng.nextBounded(100);
+        if (dice < 95) {  // session lookup
+          if (sessions.get(sid).has_value()) hits.fetch_add(1);
+          lookups.fetch_add(1);
+        } else if (dice < 98) {  // login
+          if (sessions.insert(sid, sid * 7)) logins.fetch_add(1);
+        } else {  // expiry
+          if (sessions.erase(sid)) expiries.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  pathcas::StopWatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(kRunMs));
+  stop.store(true);
+  for (auto& s : servers) s.join();
+  const double sec = sw.elapsedSeconds();
+
+  const auto total = lookups.load() + logins.load() + expiries.load();
+  std::printf("session index: %.2f M ops/s across %d threads\n",
+              static_cast<double>(total) / sec / 1e6, kServerThreads);
+  std::printf("  lookups   %10llu (%.1f%% hit rate)\n",
+              static_cast<unsigned long long>(lookups.load()),
+              100.0 * static_cast<double>(hits.load()) /
+                  static_cast<double>(lookups.load() ? lookups.load() : 1));
+  std::printf("  logins    %10llu\n",
+              static_cast<unsigned long long>(logins.load()));
+  std::printf("  expiries  %10llu\n",
+              static_cast<unsigned long long>(expiries.load()));
+  std::printf("  live sessions now: %llu\n",
+              static_cast<unsigned long long>(sessions.size()));
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Uniform adapters over every concurrent-set implementation in the repo, so
+// one generic (typed) test suite and one benchmark driver cover them all.
+// Each adapter exposes: insert(k,v) / erase(k) / contains(k) -> bool,
+// size() / keySum() (quiescent), and name().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mcms/mcms_bst.hpp"
+#include "stm/elastic.hpp"
+#include "stm/glock.hpp"
+#include "stm/norec.hpp"
+#include "stm/tl2.hpp"
+#include "stm/tle.hpp"
+#include "stm/tm_avl.hpp"
+#include "stm/tm_bst.hpp"
+#include "stm/tm_ext_bst.hpp"
+#include "trees/ellen_bst.hpp"
+#include "trees/int_avl_pathcas.hpp"
+#include "trees/int_bst_pathcas.hpp"
+#include "trees/ticket_bst.hpp"
+
+namespace pathcas::testing {
+
+using Key = std::int64_t;
+using Val = std::int64_t;
+
+template <bool UseHtm>
+struct PathCasBstAdapter {
+  ds::IntBstPathCas<Key, Val> tree{
+      ds::IntBstOptions{.useHtmFastPath = UseHtm}};
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const { tree.checkInvariants(); }
+  double avgKeyDepth() const { return tree.checkInvariants().avgKeyDepth; }
+  std::uint64_t footprintBytes() const {
+    return tree.checkInvariants().footprintBytes;
+  }
+  static std::string name() {
+    return UseHtm ? "int-bst-pathcas+" : "int-bst-pathcas";
+  }
+};
+
+template <bool UseHtm>
+struct PathCasAvlAdapter {
+  ds::IntAvlPathCas<Key, Val> tree{
+      ds::IntBstOptions{.useHtmFastPath = UseHtm}};
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const { tree.checkInvariants(false); }
+  double avgKeyDepth() const { return tree.checkInvariants().avgKeyDepth; }
+  std::uint64_t footprintBytes() const {
+    return tree.checkInvariants().footprintBytes;
+  }
+  static std::string name() {
+    return UseHtm ? "int-avl-pathcas+" : "int-avl-pathcas";
+  }
+};
+
+struct EllenAdapter {
+  ds::EllenBst<Key, Val> tree;
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const {}
+  double avgKeyDepth() const { return tree.avgKeyDepth(); }
+  std::uint64_t footprintBytes() const { return tree.footprintBytes(); }
+  static std::string name() { return "ext-bst-lf"; }
+};
+
+struct TicketAdapter {
+  ds::TicketBst<Key, Val> tree;
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const {}
+  double avgKeyDepth() const { return tree.avgKeyDepth(); }
+  std::uint64_t footprintBytes() const { return tree.footprintBytes(); }
+  static std::string name() { return "ext-bst-locks"; }
+};
+
+template <typename TM>
+struct TmBstAdapter {
+  std::unique_ptr<TM> tm = std::make_unique<TM>();
+  stm::TmInternalBst<TM, Key, Val> tree{*tm};
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const {}
+  double avgKeyDepth() const { return tree.avgKeyDepth(); }
+  std::uint64_t footprintBytes() const { return tree.footprintBytes(); }
+  static std::string name() { return "int-bst-" + std::string(TM::name()); }
+};
+
+template <typename TM>
+struct TmAvlAdapter {
+  std::unique_ptr<TM> tm = std::make_unique<TM>();
+  stm::TmInternalAvl<TM, Key, Val> tree{*tm};
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const { tree.checkInvariants(); }
+  double avgKeyDepth() const { return tree.avgKeyDepth(); }
+  std::uint64_t footprintBytes() const { return tree.footprintBytes(); }
+  static std::string name() { return "int-avl-" + std::string(TM::name()); }
+};
+
+template <typename TM>
+struct TmExtBstAdapter {
+  std::unique_ptr<TM> tm = std::make_unique<TM>();
+  stm::TmExternalBst<TM, Key, Val> tree{*tm};
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const {}
+  double avgKeyDepth() const { return 0.0; }
+  std::uint64_t footprintBytes() const { return 0; }
+  static std::string name() { return "ext-bst-" + std::string(TM::name()); }
+};
+
+template <bool UseHtm>
+struct McmsBstAdapter {
+  mcms::McmsBst<Key, Val> tree{UseHtm};
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const {}
+  double avgKeyDepth() const { return 0.0; }
+  std::uint64_t footprintBytes() const { return 0; }
+  static std::string name() {
+    return UseHtm ? "int-bst-mcms+" : "int-bst-mcms-";
+  }
+};
+
+}  // namespace pathcas::testing

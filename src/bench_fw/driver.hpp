@@ -1,0 +1,185 @@
+// Setbench-style benchmark driver (§5 "Our experiments follow the
+// methodology of [9]"): prefill the structure to half its key range with a
+// random key subset, run T threads issuing a uniform mix of
+// insert/delete/contains for a fixed duration, then validate the run with
+// the keysum invariant (sum of successfully inserted keys minus successfully
+// deleted keys must equal the structure's final keysum) before reporting
+// throughput.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "recl/ebr.hpp"
+#include "util/backoff.hpp"
+#include "util/defs.hpp"
+#include "util/padding.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+#include "util/timing.hpp"
+
+namespace pathcas::bench {
+
+struct TrialConfig {
+  int threads = 1;
+  std::int64_t keyRange = 1 << 16;
+  double insertFrac = 0.05;  // e.g. 10% updates = 5% insert + 5% delete
+  double deleteFrac = 0.05;
+  int durationMs = 200;
+  std::uint64_t seed = 1;
+};
+
+struct TrialResult {
+  double mops = 0.0;          // million operations per second (total)
+  std::uint64_t totalOps = 0;
+  std::uint64_t cyclesPerOp = 0;
+  double elapsedSec = 0.0;
+  bool keysumOk = false;
+  std::uint64_t inserts = 0, deletes = 0, finds = 0;
+};
+
+/// Benchmark scale, from PATHCAS_BENCH_SCALE ("quick" default, "full" for
+/// paper-scale key ranges and durations).
+inline bool fullScale() {
+  const char* s = std::getenv("PATHCAS_BENCH_SCALE");
+  return s != nullptr && std::string(s) == "full";
+}
+inline int scaledDurationMs(int quickMs, int fullMs) {
+  return fullScale() ? fullMs : quickMs;
+}
+inline std::int64_t scaledKeys(std::int64_t quick, std::int64_t full) {
+  return fullScale() ? full : quick;
+}
+
+/// Prefill with a random half of the key range (random insertion order so
+/// unbalanced trees get their expected logarithmic depth).
+template <typename Set>
+std::int64_t prefillHalf(Set& set, std::int64_t keyRange,
+                         std::uint64_t seed = 12345) {
+  std::vector<std::int64_t> keys(static_cast<std::size_t>(keyRange));
+  for (std::int64_t i = 0; i < keyRange; ++i)
+    keys[static_cast<std::size_t>(i)] = i;
+  Xoshiro256 rng(seed);
+  for (std::size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[rng.nextBounded(i)]);
+  }
+  std::int64_t keysum = 0;
+  for (std::int64_t i = 0; i < keyRange / 2; ++i) {
+    const std::int64_t k = keys[static_cast<std::size_t>(i)];
+    if (set.insert(k, k)) keysum += k;
+  }
+  return keysum;
+}
+
+/// Run one timed trial against a prefilled set. `prefillSum` is the keysum
+/// after prefill, used for validation.
+template <typename Set>
+TrialResult runTrial(Set& set, const TrialConfig& cfg,
+                     std::int64_t prefillSum) {
+  struct alignas(kNoFalseSharing) PerThread {
+    std::uint64_t ops = 0, inserts = 0, deletes = 0, finds = 0;
+    std::int64_t keysumDelta = 0;
+    std::uint64_t cycles = 0;
+  };
+  std::vector<PerThread> stats(static_cast<std::size_t>(cfg.threads));
+  std::atomic<bool> go{false}, stop{false};
+  std::atomic<int> ready{0};
+
+  const std::uint64_t insertCut =
+      static_cast<std::uint64_t>(cfg.insertFrac * 1e9);
+  const std::uint64_t deleteCut =
+      insertCut + static_cast<std::uint64_t>(cfg.deleteFrac * 1e9);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(cfg.seed * 1000003 + static_cast<std::uint64_t>(t));
+      PerThread& my = stats[static_cast<std::size_t>(t)];
+      ready.fetch_add(1);
+      while (!go.load(std::memory_order_acquire)) cpuRelax();
+      const std::uint64_t c0 = rdtsc();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng.nextBounded(
+                static_cast<std::uint64_t>(cfg.keyRange)));
+        const std::uint64_t dice = rng.nextBounded(1000000000ULL);
+        if (dice < insertCut) {
+          if (set.insert(k, k)) my.keysumDelta += k;
+          ++my.inserts;
+        } else if (dice < deleteCut) {
+          if (set.erase(k)) my.keysumDelta -= k;
+          ++my.deletes;
+        } else {
+          (void)set.contains(k);
+          ++my.finds;
+        }
+        ++my.ops;
+      }
+      my.cycles = rdtsc() - c0;
+    });
+  }
+  while (ready.load() != cfg.threads) std::this_thread::yield();
+  StopWatch sw;
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.durationMs));
+  stop.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double elapsed = sw.elapsedSeconds();
+
+  TrialResult r;
+  std::int64_t expected = prefillSum;
+  std::uint64_t cycles = 0;
+  for (const auto& s : stats) {
+    r.totalOps += s.ops;
+    r.inserts += s.inserts;
+    r.deletes += s.deletes;
+    r.finds += s.finds;
+    expected += s.keysumDelta;
+    cycles += s.cycles;
+  }
+  r.elapsedSec = elapsed;
+  r.mops = static_cast<double>(r.totalOps) / elapsed / 1e6;
+  r.cyclesPerOp = r.totalOps ? cycles / r.totalOps : 0;
+  r.keysumOk = (set.keySum() == expected);
+  PATHCAS_CHECK(r.keysumOk && "keysum validation failed — correctness bug");
+  return r;
+}
+
+/// Convenience: construct, prefill, run, return result (one fresh structure
+/// per cell, as in setbench).
+template <typename MakeSet>
+TrialResult runCell(MakeSet&& makeSet, const TrialConfig& cfg) {
+  auto set = makeSet();
+  const std::int64_t prefillSum = prefillHalf(*set, cfg.keyRange);
+  return runTrial(*set, cfg, prefillSum);
+}
+
+// ---------------------------------------------------------------------------
+// Output helpers: the benches print paper-style rows plus a CSV block that
+// EXPERIMENTS.md references.
+// ---------------------------------------------------------------------------
+
+inline void printHeader(const std::string& title,
+                        const std::vector<int>& threadCounts) {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-22s", "algorithm");
+  for (int t : threadCounts) std::printf("  t=%-8d", t);
+  std::printf("   (Mops/s per thread count)\n");
+}
+
+inline void printRow(const std::string& algo,
+                     const std::vector<double>& mops) {
+  std::printf("%-22s", algo.c_str());
+  for (double m : mops) std::printf("  %-10.3f", m);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace pathcas::bench

@@ -1,0 +1,57 @@
+#include "htm/htm.hpp"
+
+namespace pathcas::htm {
+namespace {
+
+TatasLock gLock;
+std::atomic<double> gAbortProbability{0.0};
+Padded<TxStats> gStats[kMaxThreads];
+Padded<Xoshiro256> gRng[kMaxThreads];
+
+TxStats& myStats() { return gStats[ThreadRegistry::tid()].value; }
+
+}  // namespace
+
+namespace detail {
+
+bool injectAbort() {
+  const double p = gAbortProbability.load(std::memory_order_relaxed);
+  return p > 0.0 && gRng[ThreadRegistry::tid()]->nextDouble() < p;
+}
+
+void recordCommit() { ++myStats().commits; }
+
+void recordAbort(Abort code) {
+  TxStats& s = myStats();
+  ++s.aborts;
+  ++s.abortsByCode[static_cast<std::uint32_t>(code)];
+}
+
+}  // namespace detail
+
+TatasLock& globalLock() { return gLock; }
+
+void setAbortInjection(double probability) {
+  gAbortProbability.store(probability, std::memory_order_relaxed);
+}
+
+void noteFallback() { ++myStats().fallbacks; }
+
+TxStats totalStats() {
+  TxStats total;
+  const int n = ThreadRegistry::instance().maxTid();
+  for (int i = 0; i < kMaxThreads && i < n; ++i) {
+    const TxStats& s = gStats[i].value;
+    total.commits += s.commits;
+    total.aborts += s.aborts;
+    total.fallbacks += s.fallbacks;
+    for (int c = 0; c < 6; ++c) total.abortsByCode[c] += s.abortsByCode[c];
+  }
+  return total;
+}
+
+void resetStats() {
+  for (auto& s : gStats) s.value = TxStats{};
+}
+
+}  // namespace pathcas::htm

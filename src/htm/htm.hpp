@@ -1,0 +1,129 @@
+// Hardware transactional memory facade (Algorithm 7's substrate).
+//
+// Two backends:
+//  * RTM (compile with -DPATHCAS_ENABLE_RTM=ON): Intel TSX _xbegin/_xend.
+//  * Emulated (default, and the only option on this reproduction's hardware):
+//    a single global test-and-test-and-set lock provides transaction
+//    atomicity, with optional randomized abort injection so fallback paths
+//    are exercised. See DESIGN.md §1 for why the emulation composes safely
+//    with the lock-free software path: every fast-path transaction AND every
+//    software fallback of a fast-path-enabled structure serializes on
+//    globalLock(), while readers/helpers remain lock-free.
+//
+// A transaction body is a callable receiving a Tx&; it may call
+// tx.abort(code) (modelled as an exception under emulation, _xabort under
+// RTM). Bodies must perform all their checks before their first write —
+// the emulated backend cannot roll back writes. Algorithm 7 has this shape
+// naturally.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "util/defs.hpp"
+#include "util/locks.hpp"
+#include "util/padding.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::htm {
+
+/// Explicit abort codes used by PathCAS / MCMS / TLE fast paths.
+enum class Abort : std::uint32_t {
+  kNone = 0,        // committed
+  kOld = 1,         // an address held an unexpected (non-descriptor) value
+  kDescriptor = 2,  // an address held a descriptor: must take the slow path
+  kLockHeld = 3,    // TLE: fallback lock observed held
+  kConflict = 4,    // (RTM) data conflict / (emulated) injected abort
+  kCapacity = 5,    // (RTM) capacity abort
+};
+
+struct TxStats {
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t abortsByCode[6] = {};
+  std::uint64_t fallbacks = 0;
+};
+
+struct TxAbortException {
+  Abort code;
+};
+
+class Tx {
+ public:
+  /// Abort the transaction with an explicit code. Does not return.
+  [[noreturn]] void abort(Abort code) { throw TxAbortException{code}; }
+};
+
+namespace detail {
+bool injectAbort();          // emulation: roll the abort-injection dice
+void recordCommit();
+void recordAbort(Abort code);
+}  // namespace detail
+
+/// The global fallback/emulation lock. Fast-path fallbacks (PathCAS+, MCMS+)
+/// and TLE's fallback path acquire it; under emulation, run() holds it for
+/// the duration of each transaction.
+TatasLock& globalLock();
+
+/// Run one transaction attempt. Returns Abort::kNone on commit, else the
+/// abort code. The caller owns the retry policy. Templated so small bodies
+/// inline without std::function overhead.
+template <typename Body>
+Abort run(Body&& body) {
+#if defined(PATHCAS_HAVE_RTM)
+  const unsigned status = _xbegin();
+  if (status == _XBEGIN_STARTED) {
+    Tx tx;
+    try {
+      body(tx);
+    } catch (const TxAbortException& e) {
+      _xabort(static_cast<unsigned>(e.code));
+    }
+    _xend();
+    detail::recordCommit();
+    return Abort::kNone;
+  }
+  Abort code = Abort::kConflict;
+  if (status & _XABORT_CAPACITY) code = Abort::kCapacity;
+  if (status & _XABORT_EXPLICIT) code = static_cast<Abort>(_XABORT_CODE(status));
+  detail::recordAbort(code);
+  return code;
+#else
+  if (detail::injectAbort()) {
+    detail::recordAbort(Abort::kConflict);
+    return Abort::kConflict;
+  }
+  TatasLock& lock = globalLock();
+  lock.lock();
+  Tx tx;
+  try {
+    body(tx);
+  } catch (const TxAbortException& e) {
+    lock.unlock();
+    detail::recordAbort(e.code);
+    return e.code;
+  } catch (...) {
+    lock.unlock();  // foreign exception: do not leak the emulation lock
+    throw;
+  }
+  lock.unlock();
+  detail::recordCommit();
+  return Abort::kNone;
+#endif
+}
+
+/// Probability in [0,1] that an emulated transaction aborts (Abort::kConflict)
+/// before running its body. Used by tests/benches to exercise fallbacks.
+void setAbortInjection(double probability);
+
+/// Record a fallback-taken event for the calling thread (fast paths call this
+/// when they give up on transactions).
+void noteFallback();
+
+/// Aggregate statistics across all threads (not linearizable; for reporting).
+TxStats totalStats();
+void resetStats();
+
+}  // namespace pathcas::htm

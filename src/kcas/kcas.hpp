@@ -1,0 +1,488 @@
+// Lock-free multi-word CAS with search-path validation — the engine under
+// PathCAS.
+//
+// This is the Harris-Fraser-Pratt (HFP) KCAS algorithm with two extensions:
+//  1. the Arbel-Raviv & Brown descriptor-reuse transformation (per-thread
+//     reusable descriptors referenced by (tid, seq) tagged words; see
+//     word.hpp), and
+//  2. the paper's validation phase (the "two red lines" of Algorithm 1): a
+//     descriptor additionally carries a `path` of ⟨version-word, expected⟩
+//     pairs which are re-checked after all entry addresses are locked and
+//     before the operation's status is decided.
+//
+// The user-facing start/read/add/visit/validate/exec/vexec interface lives in
+// pathcas/pathcas.hpp; this layer exposes owner-side argument staging, the
+// helping machinery, and a plain KCAS (no path) used by the MCMS baseline.
+//
+// Thread model: any thread calling into this class is registered with
+// ThreadRegistry. A thread performs at most one KCAS operation at a time (the
+// staging area is per-thread), but may help any number of other operations
+// while reading.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "kcas/word.hpp"
+#include "util/defs.hpp"
+#include "util/padding.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::k {
+
+/// Result of an owner's execute() — helpers do not consume results.
+enum class ExecResult {
+  kSucceeded,
+  kFailedValue,       // some added address held an unexpected value (genuine)
+  kFailedValidation,  // a visited node changed or was locked (maybe spurious)
+};
+
+// Defaults sized for the widest users: MCMS-style full-path compares need
+// ~2 entries per tree level; PathCAS visits need one path slot per level.
+// Exceeding either bound is a checked error (the paper's footnote 2:
+// over-allocate, or use structures with a known practical height bound).
+template <int MaxEntries = 512, int MaxPath = 512>
+class KcasDomain {
+ public:
+  static constexpr int kMaxEntries = MaxEntries;
+  static constexpr int kMaxPath = MaxPath;
+
+  /// Process-wide domain. All data structures in this repo share it (one
+  /// operation per thread at a time, as in the paper's implementation).
+  static KcasDomain& instance() {
+    static KcasDomain domain;
+    return domain;
+  }
+
+  // ----------------------------------------------------------------------
+  // Owner-side argument staging (wait-free; the paper's start/add/visit).
+  // ----------------------------------------------------------------------
+
+  /// Begin staging a new operation for the calling thread.
+  void begin() {
+    Staging& st = staging();
+    st.numEntries = 0;
+    st.numPath = 0;
+  }
+
+  /// Stage ⟨addr, old, new⟩ (already-encoded words).
+  void addEntry(AtomicWord* addr, word_t oldEnc, word_t newEnc) {
+    addEntryImpl(addr, oldEnc, newEnc, /*isVersionWord=*/false);
+  }
+
+  /// Stage a version-word change. Identical semantics; flagged so the HTM
+  /// fast path can write version words before data words.
+  void addVerEntry(AtomicWord* addr, word_t oldEnc, word_t newEnc) {
+    addEntryImpl(addr, oldEnc, newEnc, /*isVersionWord=*/true);
+  }
+
+  /// Stage a visited version word and the (encoded) value observed.
+  void addPath(AtomicWord* verAddr, word_t expectedEnc) {
+    Staging& st = staging();
+    PATHCAS_CHECK(st.numPath < MaxPath);
+    st.path[st.numPath++] = StagedPath{verAddr, expectedEnc};
+  }
+
+  int numStagedEntries() { return staging().numEntries; }
+  int numStagedPath() { return staging().numPath; }
+
+  /// Drop the staged path (exec = vexec without validation, §3.3).
+  void clearPath() { staging().numPath = 0; }
+
+  /// Strong vexec support (§3.5): convert every staged ⟨node, ver⟩ pair into
+  /// a ⟨node.ver, v, v⟩ entry (skipping version words that already have a
+  /// real entry, e.g. a visited parent whose version is being incremented),
+  /// then clear the path. The subsequent execute(false) locks the versions
+  /// instead of validating them.
+  void promotePathToEntries() {
+    Staging& st = staging();
+    for (int i = 0; i < st.numPath; ++i) {
+      bool hasRealEntry = false;
+      for (int j = 0; j < st.numEntries && !hasRealEntry; ++j)
+        hasRealEntry = (st.entries[j].addr == st.path[i].addr);
+      if (!hasRealEntry) {
+        bool duplicatePath = false;
+        for (int j = 0; j < i && !duplicatePath; ++j)
+          duplicatePath = (st.path[j].addr == st.path[i].addr);
+        if (!duplicatePath)
+          addEntryImpl(st.path[i].addr, st.path[i].expectedEnc,
+                       st.path[i].expectedEnc, /*isVersionWord=*/true);
+      }
+    }
+    st.numPath = 0;
+  }
+
+  /// True iff some staged path word currently holds a descriptor reference
+  /// (i.e. the last validation failure may have been spurious, §3.5).
+  bool pathBlockedByDescriptor() {
+    Staging& st = staging();
+    for (int i = 0; i < st.numPath; ++i) {
+      if (isDescriptor(st.path[i].addr->load(std::memory_order_acquire)))
+        return true;
+    }
+    return false;
+  }
+
+  /// Iterate the staged operation (HTM fast path). f(addr, old, new, isVer).
+  template <typename F>
+  void forEachStagedEntry(F&& f) {
+    Staging& st = staging();
+    for (int i = 0; i < st.numEntries; ++i)
+      f(st.entries[i].addr, st.entries[i].oldEnc, st.entries[i].newEnc,
+        st.entries[i].isVersionWord);
+  }
+  /// f(addr, expectedEnc) over the staged path.
+  template <typename F>
+  void forEachStagedPath(F&& f) {
+    Staging& st = staging();
+    for (int i = 0; i < st.numPath; ++i)
+      f(st.path[i].addr, st.path[i].expectedEnc);
+  }
+
+  /// Owner-side read-only validation of the staged path (the paper's
+  /// validate()). May fail spuriously when a visited node is locked by
+  /// another in-flight operation.
+  bool validateStaged() {
+    Staging& st = staging();
+    for (int i = 0; i < st.numPath; ++i) {
+      const word_t cur = st.path[i].addr->load(std::memory_order_acquire);
+      if (isDescriptor(cur)) return false;
+      if (cur != st.path[i].expectedEnc) return false;
+      if (decodeVal(cur) & 1) return false;  // visited node was marked
+    }
+    return true;
+  }
+
+  // ----------------------------------------------------------------------
+  // Execution.
+  // ----------------------------------------------------------------------
+
+  /// Publish the staged operation and run it to completion (helping as
+  /// needed). Staging is preserved, so a spuriously failed vexec can be
+  /// replayed verbatim (§3.5). `withValidation` distinguishes vexec (true)
+  /// from exec (false).
+  ExecResult execute(bool withValidation) {
+    const int tid = ThreadRegistry::tid();
+    Staging& st = staging_[tid].value;
+    KcasDesc& des = descs_[tid].value;
+
+    // Entries must be address-sorted: the lock-freedom argument (appendix C)
+    // relies on every helper locking addresses in one global order.
+    std::sort(st.entries, st.entries + st.numEntries,
+              [](const StagedEntry& a, const StagedEntry& b) {
+                return a.addr < b.addr;
+              });
+
+    // Reuse protocol: bump seq first (invalidating any stale helper), then
+    // write fields with release so a helper whose seq check passes is
+    // guaranteed to have read this operation's fields.
+    const std::uint64_t seq = seqOf(des.seqState.load(std::memory_order_relaxed)) + 1;
+    des.seqState.store(packSeqState(seq, State::kUndecided),
+                       std::memory_order_seq_cst);
+    for (int i = 0; i < st.numEntries; ++i) {
+      des.entries[i].addr.store(reinterpret_cast<word_t>(st.entries[i].addr),
+                                std::memory_order_release);
+      des.entries[i].oldv.store(st.entries[i].oldEnc, std::memory_order_release);
+      des.entries[i].newv.store(st.entries[i].newEnc, std::memory_order_release);
+    }
+    const int nPath = withValidation ? st.numPath : 0;
+    for (int i = 0; i < nPath; ++i) {
+      des.path[i].addr.store(reinterpret_cast<word_t>(st.path[i].addr),
+                             std::memory_order_release);
+      des.path[i].expected.store(st.path[i].expectedEnc,
+                                 std::memory_order_release);
+    }
+    des.numEntries.store(static_cast<std::uint32_t>(st.numEntries),
+                         std::memory_order_release);
+    des.numPath.store(static_cast<std::uint32_t>(nPath),
+                      std::memory_order_release);
+
+    const word_t ref = packRef(kTagKcas, tid, seq);
+    return help(ref, /*isOwner=*/true);
+  }
+
+  /// KCASRead: read an application value (encoded), helping any operation
+  /// found in the word. Never returns a descriptor reference.
+  word_t readEncoded(AtomicWord* addr) {
+    for (;;) {
+      const word_t w = addr->load(std::memory_order_acquire);
+      if (PATHCAS_LIKELY(!isDescriptor(w))) return w;
+      if (isKcas(w)) {
+        help(w, /*isOwner=*/false);
+      } else {
+        helpDcss(w);
+      }
+    }
+  }
+
+  /// Raw load without helping: used by validateDesc (Algorithm 2 reads
+  /// version words raw so that our own lock reads as "ours") and by
+  /// HTM-fast-path code that must abort on descriptors.
+  static word_t loadRaw(AtomicWord* addr) {
+    return addr->load(std::memory_order_acquire);
+  }
+
+ private:
+  struct StagedEntry {
+    AtomicWord* addr;
+    word_t oldEnc;
+    word_t newEnc;
+    bool isVersionWord;
+  };
+  struct StagedPath {
+    AtomicWord* addr;
+    word_t expectedEnc;
+  };
+  /// Owner-private staging area; never read by other threads.
+  struct Staging {
+    int numEntries = 0;
+    int numPath = 0;
+    StagedEntry entries[MaxEntries];
+    StagedPath path[MaxPath];
+  };
+
+  /// Shared descriptor fields. Helpers read these concurrently with the
+  /// owner's reuse of the descriptor for a later operation, hence every
+  /// field is an atomic and every helper read is validated against seqState
+  /// (readField below).
+  struct Entry {
+    AtomicWord addr{0}, oldv{0}, newv{0};
+  };
+  struct PathEntry {
+    AtomicWord addr{0}, expected{0};
+  };
+  struct KcasDesc {
+    std::atomic<word_t> seqState{packSeqState(0, State::kUndecided)};
+    std::atomic<std::uint32_t> numEntries{0}, numPath{0};
+    Entry entries[MaxEntries];
+    PathEntry path[MaxPath];
+  };
+  struct DcssDesc {
+    std::atomic<std::uint64_t> seq{0};
+    AtomicWord addr1{0}, exp1{0}, addr2{0}, exp2{0}, new2{0};
+  };
+
+  Staging& staging() { return staging_[ThreadRegistry::tid()].value; }
+
+  void addEntryImpl(AtomicWord* addr, word_t oldEnc, word_t newEnc,
+                    bool isVersionWord) {
+    Staging& st = staging();
+    PATHCAS_CHECK(st.numEntries < MaxEntries);
+#ifndef NDEBUG
+    for (int i = 0; i < st.numEntries; ++i)
+      PATHCAS_DCHECK(st.entries[i].addr != addr &&
+                     "address added twice (undefined per the paper)");
+#endif
+    st.entries[st.numEntries++] =
+        StagedEntry{addr, oldEnc, newEnc, isVersionWord};
+  }
+
+  /// Validated helper read: the field value is only meaningful if the
+  /// descriptor still belongs to operation `seq` after the read.
+  template <typename Atomic, typename V>
+  static bool readField(const std::atomic<word_t>& seqState, std::uint64_t seq,
+                        const Atomic& field, V& out) {
+    out = static_cast<V>(field.load(std::memory_order_acquire));
+    return seqOf(seqState.load(std::memory_order_acquire)) == seq;
+  }
+
+  // ----------------------------------------------------------------------
+  // DCSS (double-compare single-swap), software, per HFP. addr1 is always a
+  // KCAS descriptor's seqState and exp1 the undecided status for its seq;
+  // this confines installations of KCAS references to undecided operations
+  // (no resurrection of completed operations).
+  // ----------------------------------------------------------------------
+
+  /// Perform DCSS as the owner (using the calling thread's DCSS descriptor).
+  /// Returns the (raw) value seen at addr2: exp2 indicates the swap
+  /// happened-or-was-superseded; any other value is returned for the caller
+  /// to dispatch on (application value => entry failure, KCAS ref => help).
+  word_t dcss(AtomicWord* a1, word_t e1, AtomicWord* a2, word_t e2,
+              word_t n2) {
+    const int tid = ThreadRegistry::tid();
+    DcssDesc& d = dcssDescs_[tid].value;
+    const std::uint64_t seq = d.seq.load(std::memory_order_relaxed) + 1;
+    d.seq.store(seq, std::memory_order_seq_cst);
+    d.addr1.store(reinterpret_cast<word_t>(a1), std::memory_order_release);
+    d.exp1.store(e1, std::memory_order_release);
+    d.addr2.store(reinterpret_cast<word_t>(a2), std::memory_order_release);
+    d.exp2.store(e2, std::memory_order_release);
+    d.new2.store(n2, std::memory_order_release);
+    const word_t ref = packRef(kTagDcss, tid, seq);
+    for (;;) {
+      word_t seen = e2;
+      if (a2->compare_exchange_strong(seen, ref, std::memory_order_seq_cst)) {
+        completeDcss(ref, a1, e1, a2, e2, n2);
+        return e2;
+      }
+      if (isDcss(seen)) {
+        helpDcss(seen);
+        continue;
+      }
+      return seen;
+    }
+  }
+
+  /// Second half of DCSS, run by owner and helpers alike: decide by reading
+  /// addr1, then swing addr2 from the descriptor reference to new2 or back
+  /// to exp2. Multiple helpers race; the reference's uniqueness makes all
+  /// but the first CAS fail harmlessly.
+  static void completeDcss(word_t ref, AtomicWord* a1, word_t e1,
+                           AtomicWord* a2, word_t e2, word_t n2) {
+    word_t expected = ref;
+    if (a1->load(std::memory_order_seq_cst) == e1) {
+      a2->compare_exchange_strong(expected, n2, std::memory_order_seq_cst);
+    } else {
+      a2->compare_exchange_strong(expected, e2, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Help a DCSS found in memory via its tagged reference.
+  void helpDcss(word_t ref) {
+    DcssDesc& d = dcssDescs_[refTid(ref)].value;
+    const std::uint64_t seq = refSeq(ref);
+    auto fresh = [&] {
+      return d.seq.load(std::memory_order_acquire) == seq;
+    };
+    word_t a1raw, e1, a2raw, e2, n2;
+    a1raw = d.addr1.load(std::memory_order_acquire);
+    e1 = d.exp1.load(std::memory_order_acquire);
+    a2raw = d.addr2.load(std::memory_order_acquire);
+    e2 = d.exp2.load(std::memory_order_acquire);
+    n2 = d.new2.load(std::memory_order_acquire);
+    if (!fresh()) return;  // operation already completed; reference is stale
+    completeDcss(ref, reinterpret_cast<AtomicWord*>(a1raw), e1,
+                 reinterpret_cast<AtomicWord*>(a2raw), e2, n2);
+  }
+
+  // ----------------------------------------------------------------------
+  // KCAS help (Algorithm 1). Owner and helpers run the same code; only the
+  // owner's return value is meaningful.
+  // ----------------------------------------------------------------------
+
+  ExecResult help(word_t ref, bool isOwner) {
+    KcasDesc& des = descs_[refTid(ref)].value;
+    const std::uint64_t seq = refSeq(ref);
+    const word_t undecided = packSeqState(seq, State::kUndecided);
+
+    word_t ss = des.seqState.load(std::memory_order_acquire);
+    if (seqOf(ss) != seq) return ExecResult::kFailedValue;  // stale (helper)
+
+    // Whether *this* helper locally observed a genuine value mismatch. Used
+    // only by the owner to classify failures (§3.5): a failure with no local
+    // value mismatch is possibly spurious and worth retrying / escalating to
+    // the strong path.
+    bool sawValueMismatch = false;
+    if (stateOf(ss) == State::kUndecided) {
+      // Phase 1: lock every entry address via DCSS, in sorted order.
+      State newState = State::kSucceeded;
+      std::uint32_t n;
+      if (!readField(des.seqState, seq, des.numEntries, n))
+        return done(ref, isOwner);
+      for (std::uint32_t i = 0; i < n && newState == State::kSucceeded; ++i) {
+        word_t addrRaw, oldv;
+        if (!readField(des.seqState, seq, des.entries[i].addr, addrRaw) ||
+            !readField(des.seqState, seq, des.entries[i].oldv, oldv)) {
+          return done(ref, isOwner);
+        }
+        auto* addr = reinterpret_cast<AtomicWord*>(addrRaw);
+        for (;;) {
+          const word_t seen = dcss(&des.seqState, undecided, addr, oldv, ref);
+          if (seen == oldv || seen == ref) break;  // locked (by us or another)
+          if (isKcas(seen)) {
+            help(seen, /*isOwner=*/false);
+            continue;
+          }
+          // Unexpected application value: the operation must fail.
+          newState = State::kFailed;
+          sawValueMismatch = true;
+          break;
+        }
+      }
+      // Phase 1b (the paper's extension): validate visited nodes.
+      if (newState == State::kSucceeded) {
+        std::uint32_t np;
+        if (!readField(des.seqState, seq, des.numPath, np))
+          return done(ref, isOwner);
+        if (np > 0 && !validateDesc(des, seq, ref, np)) {
+          newState = State::kFailed;
+        }
+      }
+      word_t expected = undecided;
+      des.seqState.compare_exchange_strong(expected,
+                                           packSeqState(seq, newState),
+                                           std::memory_order_seq_cst);
+    }
+
+    // Phase 2: unlock all entry addresses according to the decided state.
+    const ExecResult r = done(ref, isOwner);
+    if (isOwner && r != ExecResult::kSucceeded && !sawValueMismatch) {
+      // Misclassifying a genuine failure as retryable only costs one extra
+      // attempt (the retry then observes the value mismatch directly).
+      return ExecResult::kFailedValidation;
+    }
+    return r;
+  }
+
+  /// Phase 2 + result extraction. Safe to call at any point after the
+  /// operation's state is decided (or the descriptor went stale).
+  ExecResult done(word_t ref, bool isOwner) {
+    KcasDesc& des = descs_[refTid(ref)].value;
+    const std::uint64_t seq = refSeq(ref);
+    const word_t ss = des.seqState.load(std::memory_order_acquire);
+    if (seqOf(ss) != seq) {
+      PATHCAS_DCHECK(!isOwner);
+      return ExecResult::kFailedValue;  // stale helper; result irrelevant
+    }
+    const State st = stateOf(ss);
+    PATHCAS_DCHECK(st != State::kUndecided || !isOwner);
+    if (st == State::kUndecided) return ExecResult::kFailedValue;
+    const bool succeeded = (st == State::kSucceeded);
+    std::uint32_t n;
+    if (!readField(des.seqState, seq, des.numEntries, n))
+      return succeeded ? ExecResult::kSucceeded : ExecResult::kFailedValue;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      word_t addrRaw, oldv, newv;
+      if (!readField(des.seqState, seq, des.entries[i].addr, addrRaw) ||
+          !readField(des.seqState, seq, des.entries[i].oldv, oldv) ||
+          !readField(des.seqState, seq, des.entries[i].newv, newv)) {
+        break;  // stale: the owner finished phase 2 already
+      }
+      auto* addr = reinterpret_cast<AtomicWord*>(addrRaw);
+      word_t expected = ref;
+      addr->compare_exchange_strong(expected, succeeded ? newv : oldv,
+                                    std::memory_order_seq_cst);
+    }
+    return succeeded ? ExecResult::kSucceeded : ExecResult::kFailedValue;
+  }
+
+  /// Algorithm 2. Raw (non-helping) reads: our own lock on a version word
+  /// reads as `ref` and passes; any other descriptor fails validation.
+  bool validateDesc(KcasDesc& des, std::uint64_t seq, word_t ref,
+                    std::uint32_t np) {
+    for (std::uint32_t i = 0; i < np; ++i) {
+      word_t addrRaw, expected;
+      if (!readField(des.seqState, seq, des.path[i].addr, addrRaw) ||
+          !readField(des.seqState, seq, des.path[i].expected, expected)) {
+        return false;  // stale helper: fail conservatively; CAS will no-op
+      }
+      const word_t cur =
+          reinterpret_cast<AtomicWord*>(addrRaw)->load(std::memory_order_acquire);
+      if (cur == ref) continue;              // locked for *our* operation
+      if (isDescriptor(cur)) return false;   // locked for a different one
+      if (cur != expected) return false;     // version changed
+      if (decodeVal(expected) & 1) return false;  // node was already marked
+    }
+    return true;
+  }
+
+  Padded<KcasDesc> descs_[kMaxThreads];
+  Padded<DcssDesc> dcssDescs_[kMaxThreads];
+  Padded<Staging> staging_[kMaxThreads];
+};
+
+/// The domain all PathCAS data structures in this repository share.
+using DefaultDomain = KcasDomain<>;
+
+}  // namespace pathcas::k

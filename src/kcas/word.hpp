@@ -1,0 +1,65 @@
+// Word encoding for KCAS/PathCAS-managed memory.
+//
+// Every word that can be modified by KCAS/PathCAS is a 64-bit atomic whose
+// low two bits are a tag:
+//   00  — an application value, shifted left by 2 (62-bit payload)
+//   01  — a reference to a DCSS descriptor
+//   10  — a reference to a KCAS/PathCAS descriptor
+//
+// Descriptor references follow the Arbel-Raviv & Brown "reuse, don't recycle"
+// scheme: instead of a heap pointer, a reference packs the owning thread's id
+// and the descriptor's sequence number:
+//      [ seq : 46 | tid : 16 | tag : 2 ]
+// Each thread owns exactly one descriptor of each kind, reused across
+// operations; the sequence number makes every reference unique per operation,
+// so a helper holding a stale reference (a) fails sequence validation when it
+// reads descriptor fields, and (b) fails every CAS whose expected value is the
+// stale reference. No descriptor is ever allocated or freed at runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/defs.hpp"
+
+namespace pathcas::k {
+
+using word_t = std::uint64_t;
+using AtomicWord = std::atomic<word_t>;
+
+inline constexpr word_t kTagDcss = 0x1;
+inline constexpr word_t kTagKcas = 0x2;
+inline constexpr word_t kTagMask = 0x3;
+
+inline constexpr int kTidBits = 16;
+inline constexpr int kRefShift = 2 + kTidBits;
+static_assert(kMaxThreads <= (1 << kTidBits));
+
+inline bool isDcss(word_t w) { return (w & kTagMask) == kTagDcss; }
+inline bool isKcas(word_t w) { return (w & kTagMask) == kTagKcas; }
+inline bool isDescriptor(word_t w) { return (w & kTagMask) != 0; }
+
+/// Application values occupy 62 bits. Keys/pointers/versions all fit: x86-64
+/// canonical pointers are <= 57 bits and version numbers wrap at 2^62 (the
+/// paper's ABA analysis, §C.2, applies unchanged).
+inline constexpr word_t encodeVal(word_t v) { return v << 2; }
+inline constexpr word_t decodeVal(word_t w) { return w >> 2; }
+
+inline word_t packRef(word_t tag, int tid, std::uint64_t seq) {
+  return (seq << kRefShift) | (static_cast<word_t>(tid) << 2) | tag;
+}
+inline int refTid(word_t w) {
+  return static_cast<int>((w >> 2) & ((1u << kTidBits) - 1));
+}
+inline std::uint64_t refSeq(word_t w) { return w >> kRefShift; }
+
+/// KCAS descriptor status word: [ seq : 62 | state : 2 ].
+enum class State : std::uint64_t { kUndecided = 0, kSucceeded = 1, kFailed = 2 };
+
+inline word_t packSeqState(std::uint64_t seq, State s) {
+  return (seq << 2) | static_cast<word_t>(s);
+}
+inline std::uint64_t seqOf(word_t ss) { return ss >> 2; }
+inline State stateOf(word_t ss) { return static_cast<State>(ss & 3); }
+
+}  // namespace pathcas::k

@@ -1,0 +1,47 @@
+// Multi-Compare Multi-Swap (Timnat, Herlihy, Petrank, Euro-Par'15) — the
+// §5.1 baseline. MCMS extends KCAS with compare-only entries: fields can be
+// *compared* without being swapped.
+//
+// The crucial property the paper measures: on the software path a compare
+// entry is implemented as an old→old swap, i.e. the HFP KCAS *writes a
+// descriptor into every compared address* — including every node on a search
+// path — turning searches into writers and collapsing under contention
+// ("MCMS essentially becomes the HFP KCAS algorithm"). The HTM fast path
+// avoids this by checking compares inside a transaction without writing.
+#pragma once
+
+#include "pathcas/pathcas.hpp"
+
+namespace pathcas::mcms {
+
+/// Begin staging an MCMS operation for the calling thread.
+inline void start() { pathcas::start(); }
+
+/// Compare-only entry: succeed only if w still holds `expected`.
+/// Software path: an old→old swap (a descriptor WRITE to w).
+template <typename T>
+void cmp(casword<T>& w, T expected) {
+  pathcas::add(w, expected, expected);
+}
+
+/// Compare-and-swap entry.
+template <typename T>
+void swap(casword<T>& w, T oldV, T newV) {
+  pathcas::add(w, oldV, newV);
+}
+
+/// MCMS read (the KCASRead analogue).
+template <typename T>
+T read(const casword<T>& w) {
+  return w.load();
+}
+
+/// Execute the staged MCMS. useHtm=true is MCMS+ (transaction first: reads
+/// validate compares without writing, falling back to the software path);
+/// useHtm=false is MCMS- (pure software: every entry, compares included, is
+/// descriptor-locked).
+inline bool execute(bool useHtm) {
+  return useHtm ? pathcas::execFast() : pathcas::exec();
+}
+
+}  // namespace pathcas::mcms

@@ -1,0 +1,210 @@
+// The PathCAS primitive (§3): the user-facing start / read / add / visit /
+// validate / exec / vexec interface, the strong-vexec slow path (§3.5), and
+// the HTM fast path (Algorithm 7) over the htm facade.
+//
+// Typical data-structure update (cf. Algorithm 4):
+//
+//   pathcas::start();
+//   ... traverse, calling pathcas::visit(node) on every node read ...
+//   pathcas::add(parent->left, expectedChild, newChild);
+//   pathcas::addVer(parent->ver, v, v + 2);       // version increment
+//   if (pathcas::vexec()) return true;            // atomic iff path unchanged
+//
+// Version-number convention (§3.3): every node carries a
+// casword<std::uint64_t> named `ver`; bit 0 is the mark bit. Live updates
+// increment by 2; unlink+mark adds 1 (kVerMark helpers below).
+//
+// All functions operate on the calling thread's (reused) descriptor in the
+// process-wide KcasDomain.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/htm.hpp"
+#include "kcas/kcas.hpp"
+#include "pathcas/casword.hpp"
+#include "util/backoff.hpp"
+
+namespace pathcas {
+
+using Version = std::uint64_t;
+
+inline bool isMarked(Version v) { return v & 1; }
+/// A version bumped for a surviving (modified) node.
+inline Version verBump(Version v) { return v + 2; }
+/// A version bumped+marked for a node being unlinked.
+inline Version verMark(Version v) { return v + 1; }
+
+/// Concept for nodes usable with visit(): any type with a `ver` casword.
+template <typename Node>
+concept Versioned = requires(Node n) {
+  { n.ver } -> std::convertible_to<const casword<Version>&>;
+};
+
+inline k::DefaultDomain& domain() { return k::DefaultDomain::instance(); }
+
+/// Begin gathering arguments for a PathCAS (wait-free).
+inline void start() { domain().begin(); }
+
+/// read(addr): returns the logical value, helping in-flight operations.
+/// (casword<T>'s implicit conversion calls this; provided for explicitness.)
+template <typename T>
+T read(const casword<T>& w) {
+  return w.load();
+}
+
+/// add(addr, old, new): stage an address to be changed atomically (wait-free).
+template <typename T>
+void add(casword<T>& w, T oldV, T newV) {
+  domain().addEntry(w.addr(), detail::encode(oldV), detail::encode(newV));
+}
+
+/// Stage a *version word* change. Semantically identical to add(); version
+/// entries are additionally written first by the HTM fast path so that
+/// concurrent validated readers racing an emulated transaction always
+/// observe the version bump before any data write (see DESIGN.md §1).
+inline void addVer(casword<Version>& w, Version oldV, Version newV) {
+  domain().addVerEntry(w.addr(), detail::encode(oldV), detail::encode(newV));
+}
+
+/// visit(n): record n's version in the path; returns the version observed
+/// (mark bit included, as in the paper).
+inline Version visitVer(const casword<Version>& ver) {
+  auto* addr = const_cast<k::AtomicWord*>(ver.addr());
+  const k::word_t enc = domain().readEncoded(addr);
+  domain().addPath(addr, enc);
+  return detail::decode<Version>(enc);
+}
+
+template <Versioned Node>
+Version visit(Node* n) {
+  return visitVer(n->ver);
+}
+
+/// validate(): true iff no visited node has changed (or was marked) since it
+/// was visited. May fail spuriously (visited node locked by an in-flight
+/// operation).
+inline bool validate() { return domain().validateStaged(); }
+
+namespace policy {
+/// Bounded retries for spuriously-failed vexec before the strong slow path.
+inline constexpr int kVexecRetries = 3;
+/// Bounded transaction attempts before the fast path gives up (Alg. 7).
+inline constexpr int kHtmRetries = 5;
+}  // namespace policy
+
+namespace fastpath {
+
+/// One transaction attempt of Algorithm 7 over the staged operation.
+/// Returns kNone (committed), kOld (genuine failure), or a retryable code.
+htm::Abort attempt(bool withValidation);
+
+}  // namespace fastpath
+
+namespace detail_exec {
+
+/// Shared execution core. fast=true adds the HTM fast path in front and
+/// serializes the software fallback on the htm global lock (required for the
+/// emulated backend; harmless with real RTM).
+inline k::ExecResult executeOnce(bool withValidation, bool fast) {
+  if (fast) {
+    for (int tries = 0; tries < policy::kHtmRetries; ++tries) {
+      const htm::Abort a = fastpath::attempt(withValidation);
+      if (a == htm::Abort::kNone) return k::ExecResult::kSucceeded;
+      if (a == htm::Abort::kOld) return k::ExecResult::kFailedValue;
+      if (a == htm::Abort::kDescriptor) break;  // slow path resolves it
+    }
+    htm::noteFallback();
+    htm::globalLock().lock();
+    const k::ExecResult r = domain().execute(withValidation);
+    htm::globalLock().unlock();
+    return r;
+  }
+  return domain().execute(withValidation);
+}
+
+inline bool vexecImpl(bool fast) {
+  Backoff backoff;
+  for (int attempt = 0; attempt <= policy::kVexecRetries; ++attempt) {
+    const k::ExecResult r = executeOnce(/*withValidation=*/true, fast);
+    if (r == k::ExecResult::kSucceeded) return true;
+    if (r == k::ExecResult::kFailedValue) return false;
+    // Validation failed. Distinguish genuine (a visited version changed:
+    // another operation succeeded; P1 satisfied by returning false) from
+    // spurious (a visited node merely held a descriptor).
+    if (!domain().validateStaged() && !domain().pathBlockedByDescriptor())
+      return false;
+    backoff.pause();
+  }
+  // Strong vexec (§3.5): promote all visited ⟨node,ver⟩ pairs to
+  // ⟨node.ver, v, v⟩ entries and run a plain exec, locking the versions of
+  // every visited node instead of validating them. Sorting (inside execute)
+  // restores lock-freedom's global order; duplicates with real entries are
+  // dropped in favour of the real entry.
+  domain().promotePathToEntries();
+  return executeOnce(/*withValidation=*/false, fast) ==
+         k::ExecResult::kSucceeded;
+}
+
+}  // namespace detail_exec
+
+/// exec(): KCAS over the added addresses; visited nodes are NOT validated.
+inline bool exec() {
+  domain().clearPath();
+  return detail_exec::executeOnce(false, false) == k::ExecResult::kSucceeded;
+}
+
+/// vexec(): exec only if no visited node changed. Spurious validation
+/// failures are retried a bounded number of times, then resolved through the
+/// strong slow path, guaranteeing property P1 (§3.5).
+inline bool vexec() { return detail_exec::vexecImpl(false); }
+
+/// Fast-path variants used by the *-pathcas+ data structures: an HTM (or
+/// emulated-HTM) transaction attempts the whole operation first.
+inline bool execFast() {
+  domain().clearPath();
+  return detail_exec::executeOnce(false, true) == k::ExecResult::kSucceeded;
+}
+inline bool vexecFast() { return detail_exec::vexecImpl(true); }
+
+namespace fastpath {
+
+inline htm::Abort attempt(bool withValidation) {
+  auto& dom = domain();
+  return htm::run([&](htm::Tx& tx) {
+    // Validation (Algorithm 7 line 4): raw reads; any descriptor forces the
+    // slow path (we cannot know the logical value), any changed version is a
+    // genuine failure.
+    if (withValidation) {
+      dom.forEachStagedPath([&](k::AtomicWord* addr, k::word_t expected) {
+        const k::word_t cur = k::DefaultDomain::loadRaw(addr);
+        if (k::isDescriptor(cur)) tx.abort(htm::Abort::kDescriptor);
+        if (cur != expected || (k::decodeVal(expected) & 1))
+          tx.abort(htm::Abort::kOld);
+      });
+    }
+    // Check every added address holds its old value (lines 5-10).
+    dom.forEachStagedEntry([&](k::AtomicWord* addr, k::word_t oldEnc,
+                               k::word_t, bool) {
+      const k::word_t cur = k::DefaultDomain::loadRaw(addr);
+      if (cur == oldEnc) return;
+      tx.abort(k::isDescriptor(cur) ? htm::Abort::kDescriptor
+                                    : htm::Abort::kOld);
+    });
+    // Write new values (lines 11-13); version words first so concurrent
+    // validated readers racing the emulated transaction fail validation
+    // rather than observing a torn state.
+    for (const bool versionPass : {true, false}) {
+      dom.forEachStagedEntry([&](k::AtomicWord* addr, k::word_t,
+                                 k::word_t newEnc, bool isVer) {
+        if (isVer == versionPass) {
+          addr->store(newEnc, std::memory_order_release);
+        }
+      });
+    }
+  });
+}
+
+}  // namespace fastpath
+
+}  // namespace pathcas

@@ -1,0 +1,107 @@
+#include "recl/ebr.hpp"
+
+namespace pathcas::recl {
+
+EbrDomain& EbrDomain::instance() {
+  static EbrDomain domain;
+  return domain;
+}
+
+EbrDomain::EbrDomain() = default;
+
+EbrDomain::~EbrDomain() {
+  // Free whatever is still in limbo; at destruction no user threads run.
+  for (auto& padded : slots_) {
+    for (auto& bag : padded->bags) {
+      for (auto& r : bag) r.deleter(r.p);
+      bag.clear();
+    }
+  }
+}
+
+void EbrDomain::doPin(ThreadSlot& slot) {
+  const std::uint64_t e = globalEpoch_.load(std::memory_order_acquire);
+  // seq_cst so the announcement is globally visible before any data-structure
+  // load in this epoch (prevents a racing advancer from missing us).
+  slot.announce.store((e << 1) | 1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+
+  if (slot.lastPinEpoch != e) {
+    slot.lastPinEpoch = e;
+    // A bag whose retire-time label is >= 2 epochs old is unreachable: any
+    // thread that could have obtained a pointer to its contents pre-unlink
+    // was pinned with an announcement < label+1, which would have blocked
+    // the global epoch from ever reaching label+2.
+    for (int i = 0; i < 3; ++i) {
+      if (!slot.bags[i].empty() && slot.bagLabel[i] + 2 <= e)
+        freeBag(slot, slot.bags[i]);
+    }
+  }
+  if (++slot.pinCount % kAdvanceInterval == 0) tryAdvance();
+}
+
+void EbrDomain::doUnpin(ThreadSlot& slot) {
+  const std::uint64_t a = slot.announce.load(std::memory_order_relaxed);
+  slot.announce.store(a & ~1ULL, std::memory_order_release);
+}
+
+void EbrDomain::tryAdvance() {
+  const std::uint64_t e = globalEpoch_.load(std::memory_order_acquire);
+  const int n = ThreadRegistry::instance().maxTid();
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t a = slots_[i]->announce.load(std::memory_order_acquire);
+    if ((a & 1) && (a >> 1) != e) return;  // someone pinned in an old epoch
+  }
+  std::uint64_t expected = e;
+  globalEpoch_.compare_exchange_strong(expected, e + 1,
+                                       std::memory_order_acq_rel);
+}
+
+void EbrDomain::freeBag(ThreadSlot& slot, std::vector<Retired>& bag) {
+  for (auto& r : bag) {
+    r.deleter(r.p);
+    ++slot.freed;
+  }
+  bag.clear();
+}
+
+void EbrDomain::retireRaw(void* p, void (*deleter)(void*)) {
+  auto& slot = *slots_[ThreadRegistry::tid()];
+  // Label with the retire-time global epoch L. The bag slot L%3 can only
+  // hold leftovers labeled <= L-3, which are already freeable (global == L).
+  const std::uint64_t label = globalEpoch_.load(std::memory_order_acquire);
+  const int idx = static_cast<int>(label % 3);
+  if (slot.bagLabel[idx] != label) {
+    if (!slot.bags[idx].empty()) {
+      PATHCAS_DCHECK(slot.bagLabel[idx] + 3 <= label);
+      freeBag(slot, slot.bags[idx]);
+    }
+    slot.bagLabel[idx] = label;
+  }
+  slot.bags[idx].push_back(Retired{p, deleter});
+  ++slot.retired;
+}
+
+std::uint64_t EbrDomain::retiredCount() const {
+  std::uint64_t sum = 0;
+  for (auto& s : slots_) sum += s->retired;
+  return sum;
+}
+
+std::uint64_t EbrDomain::freedCount() const {
+  std::uint64_t sum = 0;
+  for (auto& s : slots_) sum += s->freed;
+  return sum;
+}
+
+void EbrDomain::drainAll() {
+  const int n = ThreadRegistry::instance().maxTid();
+  for (int i = 0; i < n; ++i) {
+    PATHCAS_CHECK(!(slots_[i]->announce.load(std::memory_order_acquire) & 1));
+  }
+  for (auto& padded : slots_) {
+    for (auto& bag : padded->bags) freeBag(*padded, bag);
+  }
+}
+
+}  // namespace pathcas::recl

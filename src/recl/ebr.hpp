@@ -1,0 +1,117 @@
+// DEBRA-style epoch-based memory reclamation (Brown, PODC'15), the scheme the
+// paper uses to free tree nodes (§4.3).
+//
+// Protocol: each operation pins the calling thread by announcing the current
+// global epoch with a "pinned" bit (getGuard() in the paper's API). retire(p)
+// places p in the thread's limbo bag for the current epoch. A bag for epoch e
+// is freed once the global epoch has advanced twice past e: at that point no
+// pinned thread can still hold a pointer read in epoch e. Epoch advancement
+// is cooperative and amortized: every kAdvanceInterval pins a thread scans the
+// announcement array and advances the global epoch if every pinned thread has
+// announced it.
+//
+// Guarantees: a retired node is never freed while any thread that might have
+// a pointer to it remains pinned. Unpinned threads never block reclamation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/defs.hpp"
+#include "util/padding.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::recl {
+
+class EbrDomain;
+
+/// RAII pin. Hold one for the duration of any operation that traverses
+/// reclaimed-memory data structures (the paper's getGuard()).
+class Guard {
+ public:
+  explicit Guard(EbrDomain& domain);
+  ~Guard();
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+
+ private:
+  EbrDomain& domain_;
+  bool engaged_;  // false for nested guards: outermost guard owns the pin
+};
+
+class EbrDomain {
+ public:
+  /// Process-wide domain shared by all data structures (matches the paper's
+  /// single-DEBRA-instance setup). Separate domains are possible for tests.
+  static EbrDomain& instance();
+
+  EbrDomain();
+  ~EbrDomain();
+
+  Guard pin() { return Guard(*this); }
+
+  /// Defer destruction+free of p until no pinned thread can reach it.
+  template <typename T>
+  void retire(T* p) {
+    retireRaw(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+  void retireRaw(void* p, void (*deleter)(void*));
+
+  /// Statistics for tests and the memory-usage analysis bench.
+  std::uint64_t epoch() const {
+    return globalEpoch_.load(std::memory_order_acquire);
+  }
+  std::uint64_t retiredCount() const;
+  std::uint64_t freedCount() const;
+
+  /// Free everything immediately. Only callable when no thread is pinned
+  /// (e.g. between benchmark trials); checked.
+  void drainAll();
+
+ private:
+  friend class Guard;
+  struct Retired {
+    void* p;
+    void (*deleter)(void*);
+  };
+  struct ThreadSlot {
+    // Announcement: (epoch << 1) | pinned.
+    std::atomic<std::uint64_t> announce{0};
+    std::uint64_t pinCount = 0;
+    std::uint64_t lastPinEpoch = 0;
+    // Limbo bags. Each bag is labeled with the *global epoch at retire time*
+    // of its contents (not the retiring thread's pin epoch — the global epoch
+    // may have advanced mid-operation, and labeling with the stale pin epoch
+    // would free one grace period too early).
+    std::vector<Retired> bags[3];
+    std::uint64_t bagLabel[3] = {0, 0, 0};
+    std::uint64_t retired = 0;
+    std::uint64_t freed = 0;
+    int nestDepth = 0;
+  };
+
+  void doPin(ThreadSlot& slot);
+  void doUnpin(ThreadSlot& slot);
+  void tryAdvance();
+  void freeBag(ThreadSlot& slot, std::vector<Retired>& bag);
+
+  static constexpr std::uint64_t kAdvanceInterval = 32;
+
+  Padded<ThreadSlot> slots_[kMaxThreads];
+  alignas(kNoFalseSharing) std::atomic<std::uint64_t> globalEpoch_{1};
+};
+
+inline Guard::Guard(EbrDomain& domain) : domain_(domain) {
+  auto& slot = *domain_.slots_[ThreadRegistry::tid()];
+  engaged_ = (slot.nestDepth++ == 0);
+  if (engaged_) domain_.doPin(slot);
+}
+
+inline Guard::~Guard() {
+  auto& slot = *domain_.slots_[ThreadRegistry::tid()];
+  --slot.nestDepth;
+  if (engaged_) domain_.doUnpin(slot);
+}
+
+}  // namespace pathcas::recl

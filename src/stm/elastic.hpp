@@ -1,0 +1,193 @@
+// Simplified elastic transactions (Felber, Gramoli, Guerraoui, DISC'09) —
+// the substrate of the paper's §5.2 comparison (`ext-bst-elastic`, the
+// "speculation-friendly" tree).
+//
+// An elastic transaction behaves like a sequence of short sub-transactions:
+// while the transaction has not written ("elastic phase"), each read only
+// guarantees consistency with a sliding window of the most recent kWindow
+// reads — older reads fall out of the read set, so traversals do not pay
+// whole-path validation and are not invalidated by updates behind them.
+// On the first write the transaction "hardens" into a normal TL2-style
+// transaction: the current window is carried into the full read set and
+// everything from then on is validated at commit.
+//
+// This is a faithful reduction of the elastic idea onto our TL2 ownership-
+// record base — sufficient to reproduce the paper's observation that the
+// elastic tree is much slower than hand-crafted lock-free trees.
+#pragma once
+
+#include <array>
+
+#include "stm/common.hpp"
+#include "stm/tl2.hpp"
+
+namespace pathcas::stm {
+
+class Elastic {
+ public:
+  static constexpr std::size_t kStripeCountLog2 = 16;
+  static constexpr std::size_t kStripeCount = 1u << kStripeCountLog2;
+  static constexpr int kWindow = 2;
+
+  class Tx {
+   public:
+    template <typename T>
+    T read(const tmword<T>& w) {
+      auto* addr = const_cast<std::atomic<std::uint64_t>*>(&w.raw());
+      if (const std::uint64_t* v = writeSet_.find(addr))
+        return tmword<T>::unpack(*v);
+      auto& stripe = tm_->stripeFor(addr);
+      const std::uint64_t l1 = stripe.load(std::memory_order_acquire);
+      const std::uint64_t v = addr->load(std::memory_order_acquire);
+      const std::uint64_t l2 = stripe.load(std::memory_order_acquire);
+      if (l1 != l2 || (l1 & 1)) throw AbortTx{};
+      if (elastic_) {
+        // Cut point: drop reads older than the window, then check that the
+        // window entries are still unchanged (the sub-transaction is atomic).
+        if ((l1 >> 1) > rv_) rv_ = tm_->clock_.load(std::memory_order_acquire);
+        window_[windowPos_ % kWindow] = {&stripe, l1};
+        ++windowPos_;
+        for (int i = 0; i < kWindow && i < windowPos_; ++i) {
+          const auto& e = window_[i];
+          if (e.stripe != nullptr &&
+              e.stripe->load(std::memory_order_acquire) != e.word) {
+            throw AbortTx{};
+          }
+        }
+      } else {
+        if ((l1 >> 1) > rv_) throw AbortTx{};
+        readStripes_.push_back({&stripe, l1});
+      }
+      return tmword<T>::unpack(v);
+    }
+
+    template <typename T>
+    void write(tmword<T>& w, std::type_identity_t<T> v) {
+      if (elastic_) {
+        // Harden: the window becomes the (small) read set — this is exactly
+        // what makes elastic traversals cheap: only the last kWindow reads
+        // must remain valid through commit.
+        elastic_ = false;
+        for (int i = 0; i < kWindow && i < windowPos_; ++i) {
+          if (window_[i].stripe != nullptr) readStripes_.push_back(window_[i]);
+        }
+      }
+      writeSet_.put(&w.raw(), tmword<T>::pack(v));
+    }
+
+    void abort() { throw AbortTx{}; }
+
+    void begin(Elastic& tm) {
+      tm_ = &tm;
+      readStripes_.clear();
+      writeSet_.clear();
+      owned_.clear();
+      elastic_ = true;
+      windowPos_ = 0;
+      window_.fill({nullptr, 0});
+      rv_ = tm.clock_.load(std::memory_order_acquire);
+    }
+
+    void commit(Elastic& tm) {
+      if (writeSet_.empty()) {
+        ++tm.stats_[ThreadRegistry::tid()]->commits;
+        return;
+      }
+      for (auto& e : writeSet_) {
+        auto& stripe = tm.stripeFor(e.addr);
+        if (isOwned(&stripe)) continue;
+        std::uint64_t l = stripe.load(std::memory_order_acquire);
+        if ((l & 1) ||
+            !stripe.compare_exchange_strong(l, l | 1,
+                                            std::memory_order_acq_rel)) {
+          releaseOwned();
+          throw AbortTx{};
+        }
+        owned_.push_back({&stripe, l});
+      }
+      const std::uint64_t wv =
+          tm.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      for (const auto& e : readStripes_) {
+        const std::uint64_t l = e.stripe->load(std::memory_order_acquire);
+        if (l != e.word && !isOwned(e.stripe)) {
+          releaseOwned();
+          throw AbortTx{};
+        }
+      }
+      writeSet_.apply();
+      for (auto& o : owned_)
+        o.stripe->store(wv << 1, std::memory_order_release);
+      owned_.clear();
+      ++tm.stats_[ThreadRegistry::tid()]->commits;
+    }
+
+    void rollback(Elastic& tm) {
+      releaseOwned();
+      ++tm.stats_[ThreadRegistry::tid()]->aborts;
+    }
+
+   private:
+    struct StripeRead {
+      std::atomic<std::uint64_t>* stripe;
+      std::uint64_t word;  // stripe word observed at read time
+    };
+    struct Owned {
+      std::atomic<std::uint64_t>* stripe;
+      std::uint64_t preLockWord;
+    };
+    bool isOwned(const std::atomic<std::uint64_t>* stripe) const {
+      for (const auto& o : owned_)
+        if (o.stripe == stripe) return true;
+      return false;
+    }
+    void releaseOwned() {
+      for (auto& o : owned_)
+        o.stripe->store(o.preLockWord, std::memory_order_release);
+      owned_.clear();
+    }
+
+    Elastic* tm_ = nullptr;
+    std::uint64_t rv_ = 0;
+    bool elastic_ = true;
+    int windowPos_ = 0;
+    std::array<StripeRead, kWindow> window_{};
+    std::vector<StripeRead> readStripes_;
+    WriteSet writeSet_;
+    std::vector<Owned> owned_;
+  };
+
+  template <typename Body>
+  auto atomically(Body&& body) {
+    return atomicallyImpl(*this, std::forward<Body>(body));
+  }
+
+  Tx& myTx() { return txs_[ThreadRegistry::tid()].value; }
+
+  TmStats totalStats() const {
+    TmStats total;
+    for (const auto& s : stats_) {
+      total.commits += s->commits;
+      total.aborts += s->aborts;
+    }
+    return total;
+  }
+
+  static constexpr const char* name() { return "elastic"; }
+
+ private:
+  friend class Tx;
+  std::atomic<std::uint64_t>& stripeFor(const void* addr) {
+    const auto bits = reinterpret_cast<std::uintptr_t>(addr);
+    const std::size_t idx =
+        (bits >> 4) * 0x9e3779b97f4a7c15ULL >> (64 - kStripeCountLog2);
+    return stripes_[idx];
+  }
+
+  alignas(kNoFalseSharing) std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::atomic<std::uint64_t>> stripes_ =
+      std::vector<std::atomic<std::uint64_t>>(kStripeCount);
+  Padded<Tx> txs_[kMaxThreads];
+  Padded<TmStats> stats_[kMaxThreads];
+};
+
+}  // namespace pathcas::stm

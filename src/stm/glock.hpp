@@ -1,0 +1,58 @@
+// Trivial "TM": one per-instance global lock around every operation. This is
+// the sanity floor of the evaluation (`coarse` trees) — any algorithm that
+// fails to beat it at >1 thread is not exploiting concurrency at all.
+#pragma once
+
+#include "stm/common.hpp"
+#include "util/locks.hpp"
+
+namespace pathcas::stm {
+
+class GlobalLockTm {
+ public:
+  class Tx {
+   public:
+    template <typename T>
+    T read(const tmword<T>& w) {
+      return tmword<T>::unpack(w.raw().load(std::memory_order_relaxed));
+    }
+    template <typename T>
+    void write(tmword<T>& w, std::type_identity_t<T> v) {
+      w.raw().store(tmword<T>::pack(v), std::memory_order_relaxed);
+    }
+    void abort() { throw AbortTx{}; }
+  };
+
+  template <typename Body>
+  auto atomically(Body&& body) {
+    Tx tx;
+    for (;;) {
+      lock_.lock();
+      try {
+        if constexpr (std::is_void_v<decltype(body(tx))>) {
+          body(tx);
+          lock_.unlock();
+          return;
+        } else {
+          auto r = body(tx);
+          lock_.unlock();
+          return r;
+        }
+      } catch (const AbortTx&) {
+        lock_.unlock();  // retry (only reachable via explicit tx.abort())
+      }
+    }
+  }
+
+  Tx& myTx() {
+    static thread_local Tx tx;
+    return tx;
+  }
+
+  static constexpr const char* name() { return "coarse"; }
+
+ private:
+  TatasLock lock_;
+};
+
+}  // namespace pathcas::stm

@@ -1,0 +1,110 @@
+// NOrec STM (Dalessandro, Spear, Scott, PPoPP'10) — the paper's `norec`
+// baseline. One global sequence lock; no per-location ownership records.
+// Reads are value-validated against the whole read set whenever the global
+// version moves, which guarantees opacity; commits serialize on the global
+// lock. This is the design whose "contention on the global version lock and
+// repeated read set validation" the paper's Fig. 5 analysis highlights.
+#pragma once
+
+#include "stm/common.hpp"
+
+namespace pathcas::stm {
+
+class NOrec {
+ public:
+  class Tx {
+   public:
+    template <typename T>
+    T read(const tmword<T>& w) {
+      auto* addr = const_cast<std::atomic<std::uint64_t>*>(&w.raw());
+      if (const std::uint64_t* v = writeSet_.find(addr))
+        return tmword<T>::unpack(*v);
+      std::uint64_t v = addr->load(std::memory_order_acquire);
+      while (tm_->gv_.load(std::memory_order_acquire) != rv_) {
+        rv_ = waitStable();
+        validate();
+        v = addr->load(std::memory_order_acquire);
+      }
+      readSet_.push_back({addr, v});
+      return tmword<T>::unpack(v);
+    }
+
+    template <typename T>
+    void write(tmword<T>& w, std::type_identity_t<T> v) {
+      writeSet_.put(&w.raw(), tmword<T>::pack(v));
+    }
+
+    void abort() { throw AbortTx{}; }
+
+    void begin(NOrec& tm) {
+      tm_ = &tm;
+      readSet_.clear();
+      writeSet_.clear();
+      rv_ = waitStable();
+    }
+
+    void commit(NOrec& tm) {
+      if (writeSet_.empty()) {  // read-only: already consistent (opacity)
+        ++tm.stats_[ThreadRegistry::tid()]->commits;
+        return;
+      }
+      std::uint64_t expected = rv_;
+      while (!tm.gv_.compare_exchange_strong(expected, rv_ + 1,
+                                             std::memory_order_acq_rel)) {
+        rv_ = waitStable();
+        validate();
+        expected = rv_;
+      }
+      writeSet_.apply();
+      tm.gv_.store(rv_ + 2, std::memory_order_release);
+      ++tm.stats_[ThreadRegistry::tid()]->commits;
+    }
+
+    void rollback(NOrec& tm) { ++tm.stats_[ThreadRegistry::tid()]->aborts; }
+
+   private:
+    std::uint64_t waitStable() const {
+      std::uint64_t v;
+      while ((v = tm_->gv_.load(std::memory_order_acquire)) & 1) cpuRelax();
+      return v;
+    }
+    /// Value-based validation of the entire read set (the NOrec hallmark).
+    void validate() const {
+      for (const auto& e : readSet_) {
+        if (e.addr->load(std::memory_order_acquire) != e.value)
+          throw AbortTx{};
+      }
+    }
+
+    NOrec* tm_ = nullptr;
+    std::uint64_t rv_ = 0;
+    std::vector<ReadEntry> readSet_;
+    WriteSet writeSet_;
+  };
+
+  template <typename Body>
+  auto atomically(Body&& body) {
+    return atomicallyImpl(*this, std::forward<Body>(body));
+  }
+
+  Tx& myTx() { return txs_[ThreadRegistry::tid()].value; }
+
+  TmStats totalStats() const {
+    TmStats total;
+    for (const auto& s : stats_) {
+      total.commits += s->commits;
+      total.aborts += s->aborts;
+    }
+    return total;
+  }
+
+  static constexpr const char* name() { return "norec"; }
+
+ private:
+  friend class Tx;
+  alignas(kNoFalseSharing) std::atomic<std::uint64_t> gv_{0};
+  Padded<Tx> txs_[kMaxThreads];
+  Padded<TmStats> stats_[kMaxThreads];
+};
+
+}  // namespace pathcas::stm

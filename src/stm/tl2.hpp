@@ -1,0 +1,157 @@
+// TL2 STM (Dice, Shalev, Shavit, DISC'06) — the paper's `tl2` baseline.
+// A global version clock plus a striped table of versioned write-locks
+// (ownership records). Reads are invisible and validated against the clock;
+// commits lock the write stripes, validate the read stripes, publish, and
+// release with the new version.
+#pragma once
+
+#include "stm/common.hpp"
+
+namespace pathcas::stm {
+
+class TL2 {
+ public:
+  static constexpr std::size_t kStripeCountLog2 = 16;
+  static constexpr std::size_t kStripeCount = 1u << kStripeCountLog2;
+
+  class Tx {
+   public:
+    template <typename T>
+    T read(const tmword<T>& w) {
+      auto* addr = const_cast<std::atomic<std::uint64_t>*>(&w.raw());
+      if (const std::uint64_t* v = writeSet_.find(addr))
+        return tmword<T>::unpack(*v);
+      auto& stripe = tm_->stripeFor(addr);
+      const std::uint64_t l1 = stripe.load(std::memory_order_acquire);
+      const std::uint64_t v = addr->load(std::memory_order_acquire);
+      const std::uint64_t l2 = stripe.load(std::memory_order_acquire);
+      if (l1 != l2 || (l1 & 1) || (l1 >> 1) > rv_) throw AbortTx{};
+      readStripes_.push_back(&stripe);
+      return tmword<T>::unpack(v);
+    }
+
+    template <typename T>
+    void write(tmword<T>& w, std::type_identity_t<T> v) {
+      writeSet_.put(&w.raw(), tmword<T>::pack(v));
+    }
+
+    void abort() { throw AbortTx{}; }
+
+    void begin(TL2& tm) {
+      tm_ = &tm;
+      readStripes_.clear();
+      writeSet_.clear();
+      owned_.clear();
+      rv_ = tm.clock_.load(std::memory_order_acquire);
+    }
+
+    void commit(TL2& tm) {
+      if (writeSet_.empty()) {
+        ++tm.stats_[ThreadRegistry::tid()]->commits;
+        return;
+      }
+      // Lock the write stripes (try-lock; failure aborts — no deadlock).
+      for (auto& e : writeSet_) {
+        auto& stripe = tm.stripeFor(e.addr);
+        if (isOwned(&stripe)) continue;
+        std::uint64_t l = stripe.load(std::memory_order_acquire);
+        if ((l & 1) ||
+            !stripe.compare_exchange_strong(l, l | 1,
+                                            std::memory_order_acq_rel)) {
+          releaseOwned();
+          throw AbortTx{};
+        }
+        owned_.push_back({&stripe, l});
+      }
+      const std::uint64_t wv =
+          tm.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      // Validate the read stripes: unlocked (or locked by us) and not newer
+      // than our read version.
+      for (auto* stripe : readStripes_) {
+        const std::uint64_t l = stripe->load(std::memory_order_acquire);
+        if ((l & 1) && !isOwned(stripe)) {
+          releaseOwned();
+          throw AbortTx{};
+        }
+        if (((l & 1) ? versionOfOwned(stripe) : (l >> 1)) > rv_) {
+          releaseOwned();
+          throw AbortTx{};
+        }
+      }
+      writeSet_.apply();
+      for (auto& o : owned_)
+        o.stripe->store(wv << 1, std::memory_order_release);
+      owned_.clear();
+      ++tm.stats_[ThreadRegistry::tid()]->commits;
+    }
+
+    void rollback(TL2& tm) {
+      releaseOwned();
+      ++tm.stats_[ThreadRegistry::tid()]->aborts;
+    }
+
+   private:
+    struct Owned {
+      std::atomic<std::uint64_t>* stripe;
+      std::uint64_t preLockWord;  // restored on abort
+    };
+    bool isOwned(const std::atomic<std::uint64_t>* stripe) const {
+      for (const auto& o : owned_)
+        if (o.stripe == stripe) return true;
+      return false;
+    }
+    std::uint64_t versionOfOwned(const std::atomic<std::uint64_t>* stripe)
+        const {
+      for (const auto& o : owned_)
+        if (o.stripe == stripe) return o.preLockWord >> 1;
+      return ~0ULL;
+    }
+    void releaseOwned() {
+      for (auto& o : owned_)
+        o.stripe->store(o.preLockWord, std::memory_order_release);
+      owned_.clear();
+    }
+
+    TL2* tm_ = nullptr;
+    std::uint64_t rv_ = 0;
+    std::vector<std::atomic<std::uint64_t>*> readStripes_;
+    WriteSet writeSet_;
+    std::vector<Owned> owned_;
+  };
+
+  template <typename Body>
+  auto atomically(Body&& body) {
+    return atomicallyImpl(*this, std::forward<Body>(body));
+  }
+
+  Tx& myTx() { return txs_[ThreadRegistry::tid()].value; }
+
+  TmStats totalStats() const {
+    TmStats total;
+    for (const auto& s : stats_) {
+      total.commits += s->commits;
+      total.aborts += s->aborts;
+    }
+    return total;
+  }
+
+  static constexpr const char* name() { return "tl2"; }
+
+ private:
+  friend class Tx;
+  std::atomic<std::uint64_t>& stripeFor(const void* addr) {
+    const auto bits = reinterpret_cast<std::uintptr_t>(addr);
+    // Mix and fold; shift 4 so adjacent words in one node share a stripe.
+    const std::size_t idx =
+        (bits >> 4) * 0x9e3779b97f4a7c15ULL >> (64 - kStripeCountLog2);
+    return stripes_[idx];
+  }
+
+  alignas(kNoFalseSharing) std::atomic<std::uint64_t> clock_{0};
+  std::vector<std::atomic<std::uint64_t>> stripes_ =
+      std::vector<std::atomic<std::uint64_t>>(kStripeCount);
+  Padded<Tx> txs_[kMaxThreads];
+  Padded<TmStats> stats_[kMaxThreads];
+};
+
+}  // namespace pathcas::stm

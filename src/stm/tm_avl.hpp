@@ -1,0 +1,280 @@
+// Sequential AVL tree compiled over a TM backend — the paper's int-avl-<tm>
+// baselines (int-avl-norec and int-avl-tl2 appear in Figs. 1, 3 and 5).
+// Textbook recursive AVL insert/erase with strict rebalancing, all shared
+// accesses through tx.read/tx.write. The large read/write sets this creates
+// (every node on the path is read AND potentially height-written) are
+// exactly the TM overheads the paper measures.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "recl/ebr.hpp"
+#include "stm/common.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas::stm {
+
+template <typename TM, typename K = std::int64_t, typename V = std::int64_t>
+class TmInternalAvl {
+ public:
+  struct Node {
+    tmword<K> key;
+    tmword<V> val;
+    tmword<Node*> left;
+    tmword<Node*> right;
+    tmword<std::int64_t> height;
+    Node(K k, V v) : key(k), val(v), height(1) {}
+  };
+
+  explicit TmInternalAvl(TM& tm,
+                         recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : tm_(tm), ebr_(ebr) {}
+
+  ~TmInternalAvl() { freeSubtree(root_.raw().load()); }
+
+  TmInternalAvl(const TmInternalAvl&) = delete;
+  TmInternalAvl& operator=(const TmInternalAvl&) = delete;
+
+  bool contains(K key) {
+    auto guard = ebr_.pin();
+    return tm_.atomically([&](auto& tx) {
+      int steps = 0;
+      Node* cur = tx.read(root_);
+      while (cur != nullptr) {
+        if (PATHCAS_UNLIKELY(++steps > kMaxSteps)) tx.abort();
+        const K k = tx.read(cur->key);
+        if (key == k) return true;
+        cur = (key < k) ? tx.read(cur->left) : tx.read(cur->right);
+      }
+      return false;
+    });
+  }
+
+  bool insert(K key, V val) {
+    auto guard = ebr_.pin();
+    Node* leaf = new Node(key, val);
+    const bool inserted = tm_.atomically([&](auto& tx) {
+      bool didInsert = true;
+      Node* newRoot = insertRec(tx, tx.read(root_), key, leaf, didInsert, 0);
+      if (didInsert) tx.write(root_, newRoot);
+      return didInsert;
+    });
+    if (!inserted) delete leaf;
+    return inserted;
+  }
+
+  bool erase(K key) {
+    auto guard = ebr_.pin();
+    Node* removed = nullptr;
+    const bool erased = tm_.atomically([&](auto& tx) {
+      removed = nullptr;
+      bool didErase = true;
+      Node* newRoot = eraseRec(tx, tx.read(root_), key, removed, didErase, 0);
+      if (didErase) tx.write(root_, newRoot);
+      return didErase;
+    });
+    if (erased && removed != nullptr) ebr_.retire(removed);
+    return erased;
+  }
+
+  std::uint64_t size() const { return count(root_.raw().load()); }
+  std::int64_t keySum() const { return sum(root_.raw().load()); }
+
+  double avgKeyDepth() const {
+    std::uint64_t depthSum = 0, keys = 0;
+    depthWalk(tmword<Node*>::unpack(root_.raw().load()), 1, depthSum, keys);
+    return keys ? static_cast<double>(depthSum) / static_cast<double>(keys)
+                : 0.0;
+  }
+  std::uint64_t footprintBytes() const {
+    return count(root_.raw().load()) * sizeof(Node);
+  }
+
+  /// Quiescent check: AVL balance + BST order.
+  void checkInvariants() const {
+    checkRec(tmword<Node*>::unpack(root_.raw().load()));
+  }
+
+  static std::string name() { return std::string("int-avl-") + TM::name(); }
+
+ private:
+  static constexpr int kMaxDepth = 96;  // zombie-traversal guard
+  static constexpr int kMaxSteps = 100000;
+
+  template <typename Tx>
+  static std::int64_t h(Tx& tx, Node* n) {
+    return n == nullptr ? 0 : tx.read(n->height);
+  }
+
+  template <typename Tx>
+  static void setHeight(Tx& tx, Node* n) {
+    const std::int64_t want =
+        1 + std::max(h(tx, tx.read(n->left)), h(tx, tx.read(n->right)));
+    if (tx.read(n->height) != want) tx.write(n->height, want);
+  }
+
+  template <typename Tx>
+  static Node* rotateRight(Tx& tx, Node* n) {
+    Node* l = tx.read(n->left);
+    tx.write(n->left, tx.read(l->right));
+    tx.write(l->right, n);
+    setHeight(tx, n);
+    setHeight(tx, l);
+    return l;
+  }
+
+  template <typename Tx>
+  static Node* rotateLeft(Tx& tx, Node* n) {
+    Node* r = tx.read(n->right);
+    tx.write(n->right, tx.read(r->left));
+    tx.write(r->left, n);
+    setHeight(tx, n);
+    setHeight(tx, r);
+    return r;
+  }
+
+  template <typename Tx>
+  static Node* balance(Tx& tx, Node* n) {
+    setHeight(tx, n);
+    const std::int64_t bal =
+        h(tx, tx.read(n->left)) - h(tx, tx.read(n->right));
+    if (bal >= 2) {
+      Node* l = tx.read(n->left);
+      if (h(tx, tx.read(l->left)) < h(tx, tx.read(l->right)))
+        tx.write(n->left, rotateLeft(tx, l));
+      return rotateRight(tx, n);
+    }
+    if (bal <= -2) {
+      Node* r = tx.read(n->right);
+      if (h(tx, tx.read(r->right)) < h(tx, tx.read(r->left)))
+        tx.write(n->right, rotateRight(tx, r));
+      return rotateLeft(tx, n);
+    }
+    return n;
+  }
+
+  template <typename Tx>
+  Node* insertRec(Tx& tx, Node* n, K key, Node* leaf, bool& didInsert,
+                  int depth) {
+    if (PATHCAS_UNLIKELY(depth > kMaxDepth)) tx.abort();
+    if (n == nullptr) return leaf;
+    const K k = tx.read(n->key);
+    if (key == k) {
+      didInsert = false;
+      return n;
+    }
+    if (key < k) {
+      Node* sub = insertRec(tx, tx.read(n->left), key, leaf, didInsert,
+                            depth + 1);
+      if (!didInsert) return n;
+      if (tx.read(n->left) != sub) tx.write(n->left, sub);
+    } else {
+      Node* sub = insertRec(tx, tx.read(n->right), key, leaf, didInsert,
+                            depth + 1);
+      if (!didInsert) return n;
+      if (tx.read(n->right) != sub) tx.write(n->right, sub);
+    }
+    return balance(tx, n);
+  }
+
+  template <typename Tx>
+  Node* eraseRec(Tx& tx, Node* n, K key, Node*& removed, bool& didErase,
+                 int depth) {
+    if (PATHCAS_UNLIKELY(depth > kMaxDepth)) tx.abort();
+    if (n == nullptr) {
+      didErase = false;
+      return nullptr;
+    }
+    const K k = tx.read(n->key);
+    if (key < k) {
+      Node* sub =
+          eraseRec(tx, tx.read(n->left), key, removed, didErase, depth + 1);
+      if (!didErase) return n;
+      if (tx.read(n->left) != sub) tx.write(n->left, sub);
+    } else if (key > k) {
+      Node* sub =
+          eraseRec(tx, tx.read(n->right), key, removed, didErase, depth + 1);
+      if (!didErase) return n;
+      if (tx.read(n->right) != sub) tx.write(n->right, sub);
+    } else {
+      Node* const l = tx.read(n->left);
+      Node* const r = tx.read(n->right);
+      if (l == nullptr || r == nullptr) {
+        removed = n;
+        return (l != nullptr) ? l : r;
+      }
+      // Two children: copy successor's key/value into n, remove successor.
+      Node* succ = r;
+      int steps = depth;
+      while (tx.read(succ->left) != nullptr) {
+        if (PATHCAS_UNLIKELY(++steps > kMaxSteps)) tx.abort();
+        succ = tx.read(succ->left);
+      }
+      tx.write(n->key, tx.read(succ->key));
+      tx.write(n->val, tx.read(succ->val));
+      const K succKey = tx.read(succ->key);
+      bool subErase = true;
+      Node* newR = eraseRec(tx, r, succKey, removed, subErase, depth + 1);
+      if (tx.read(n->right) != newR) tx.write(n->right, newR);
+    }
+    return balance(tx, n);
+  }
+
+  void depthWalk(Node* n, std::uint64_t depth, std::uint64_t& depthSum,
+                 std::uint64_t& keys) const {
+    if (n == nullptr) return;
+    depthSum += depth;
+    ++keys;
+    depthWalk(tmword<Node*>::unpack(n->left.raw().load()), depth + 1,
+              depthSum, keys);
+    depthWalk(tmword<Node*>::unpack(n->right.raw().load()), depth + 1,
+              depthSum, keys);
+  }
+
+  std::uint64_t count(std::uint64_t raw) const {
+    Node* n = tmword<Node*>::unpack(raw);
+    if (n == nullptr) return 0;
+    return 1 + count(n->left.raw().load()) + count(n->right.raw().load());
+  }
+  std::int64_t sum(std::uint64_t raw) const {
+    Node* n = tmword<Node*>::unpack(raw);
+    if (n == nullptr) return 0;
+    return static_cast<std::int64_t>(tmword<K>::unpack(n->key.raw().load())) +
+           sum(n->left.raw().load()) + sum(n->right.raw().load());
+  }
+  struct CheckInfo {
+    std::int64_t height;
+  };
+  CheckInfo checkRec(Node* n) const {
+    if (n == nullptr) return {0};
+    Node* l = tmword<Node*>::unpack(n->left.raw().load());
+    Node* r = tmword<Node*>::unpack(n->right.raw().load());
+    const K k = tmword<K>::unpack(n->key.raw().load());
+    if (l != nullptr)
+      PATHCAS_CHECK(tmword<K>::unpack(l->key.raw().load()) < k);
+    if (r != nullptr)
+      PATHCAS_CHECK(tmword<K>::unpack(r->key.raw().load()) > k);
+    const auto li = checkRec(l);
+    const auto ri = checkRec(r);
+    PATHCAS_CHECK(std::abs(li.height - ri.height) <= 1);
+    const std::int64_t want = 1 + std::max(li.height, ri.height);
+    PATHCAS_CHECK(
+        tmword<std::int64_t>::unpack(n->height.raw().load()) == want);
+    return {want};
+  }
+  void freeSubtree(std::uint64_t raw) {
+    Node* n = tmword<Node*>::unpack(raw);
+    if (n == nullptr) return;
+    freeSubtree(n->left.raw().load());
+    freeSubtree(n->right.raw().load());
+    delete n;
+  }
+
+  TM& tm_;
+  recl::EbrDomain& ebr_;
+  tmword<Node*> root_;
+};
+
+}  // namespace pathcas::stm

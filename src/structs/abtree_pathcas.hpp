@@ -1,0 +1,343 @@
+// Relaxed (a,b)-tree via PathCAS — the "(a,b)-trees" entry in the paper's
+// conclusion. Leaf-oriented: up to B key/value pairs per leaf; internal
+// nodes hold immutable routing keys and mutable (casword) child pointers.
+//
+// Update discipline (the PathCAS copy-on-write recipe):
+//   * the search path is visited;
+//   * an update builds a replacement leaf and swings ONE child pointer in
+//     the parent (bumping the parent's version, marking the old leaf);
+//   * an insert into a full leaf performs a *blind split*: the leaf is
+//     replaced by a one-key internal node over the two halves. This is the
+//     relaxed-(a,b)-tree trick (analogous to the paper's relaxed AVL): the
+//     tree may temporarily hold underfull internal nodes and non-uniform
+//     leaf depths, but remains a correct search tree with O(log n) expected
+//     depth, and every operation is a single small PathCAS. (A production
+//     version would add Bougé-style rebalancing steps exactly as the AVL
+//     does; we document the relaxation instead.)
+//   * deletes shrink leaves copy-on-write; an empty leaf simply stays (its
+//     parent pointer swings to a fresh empty leaf) — again relaxed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "pathcas/pathcas.hpp"
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas::ds {
+
+template <typename K = std::int64_t, typename V = std::int64_t, int B = 8>
+class AbTreePathCas {
+  static_assert(B >= 4 && B % 2 == 0);
+
+ public:
+  static constexpr K kPosInf = std::numeric_limits<K>::max() / 4;
+
+  struct Node {
+    casword<Version> ver;
+    const bool leaf;
+    const int count;  // number of keys (internal: count+1 children)
+    std::array<K, B> keys;
+    std::array<V, B> vals;                        // leaves only
+    std::array<casword<Node*>, B + 1> children;   // internal only
+    Node(bool isLeaf, int n) : leaf(isLeaf), count(n) {}
+  };
+
+  explicit AbTreePathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {
+    // Entry node: permanent internal node with a single child (the root),
+    // so every replaceable node has a parent pointer to swing.
+    entry_ = new Node(false, 0);
+    entry_->children[0].setInitial(new Node(true, 0));
+  }
+
+  AbTreePathCas(const AbTreePathCas&) = delete;
+  AbTreePathCas& operator=(const AbTreePathCas&) = delete;
+
+  ~AbTreePathCas() {
+    freeSubtree(entry_->children[0].load());
+    delete entry_;
+  }
+
+  bool contains(K key) { return get(key).has_value(); }
+
+  std::optional<V> get(K key) {
+    PATHCAS_DCHECK(key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const Descent d = searchTo(key);
+      if (d.torn) continue;
+      const int i = indexOfKey(d.leaf, key);
+      // §4.1-style: a reachable unmarked leaf holding the key suffices.
+      if (i >= 0 && !isMarked(d.leafVer))
+        return d.leaf->vals[static_cast<std::size_t>(i)];
+      if (validate()) return std::nullopt;
+    }
+  }
+
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const Descent d = searchTo(key);
+      if (d.torn) continue;
+      if (indexOfKey(d.leaf, key) >= 0) {
+        if (validate()) return false;
+        continue;
+      }
+      if (isMarked(d.leafVer) || isMarked(d.parentVer)) continue;
+      Node* replacement;
+      if (d.leaf->count < B) {
+        replacement = leafWith(d.leaf, key, val);
+      } else {
+        // Blind split: one-key internal node over the two halves.
+        replacement = splitLeafWith(d.leaf, key, val);
+      }
+      add(d.parent->children[static_cast<std::size_t>(d.slot)], d.leaf,
+          replacement);
+      addVer(d.parent->ver, d.parentVer, verBump(d.parentVer));
+      addVer(d.leaf->ver, d.leafVer, verMark(d.leafVer));
+      if (vexec()) {
+        ebr_.retire(d.leaf);
+        return true;
+      }
+      freeReplacement(replacement);
+    }
+  }
+
+  bool erase(K key) {
+    PATHCAS_DCHECK(key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const Descent d = searchTo(key);
+      if (d.torn) continue;
+      if (indexOfKey(d.leaf, key) < 0) {
+        if (validate()) return false;
+        continue;
+      }
+      if (isMarked(d.leafVer) || isMarked(d.parentVer)) continue;
+      Node* const newLeaf = leafWithout(d.leaf, key);
+      add(d.parent->children[static_cast<std::size_t>(d.slot)], d.leaf,
+          newLeaf);
+      addVer(d.parent->ver, d.parentVer, verBump(d.parentVer));
+      addVer(d.leaf->ver, d.leafVer, verMark(d.leafVer));
+      if (vexec()) {
+        ebr_.retire(d.leaf);
+        return true;
+      }
+      delete newLeaf;
+    }
+  }
+
+  // Quiescent-state helpers.
+  std::uint64_t size() const { return countKeys(entry_->children[0].load()); }
+  std::int64_t keySum() const { return sumKeys(entry_->children[0].load()); }
+
+  /// Quiescent structural check: search-tree key order and no reachable
+  /// marked nodes. (Leaf depths are NOT uniform — the relaxed invariant.)
+  void checkInvariants() const {
+    checkRec(entry_->children[0].load(), std::numeric_limits<K>::min() / 2,
+             kPosInf);
+  }
+
+  static constexpr const char* name() { return "abtree-pathcas"; }
+
+ private:
+  struct Descent {
+    Node* parent = nullptr;
+    Version parentVer = 0;
+    int slot = 0;
+    Node* leaf = nullptr;
+    Version leafVer = 0;
+    bool torn = false;
+  };
+
+  /// Descend from the entry node to the leaf covering `key`, visiting every
+  /// node traversed.
+  Descent searchTo(K key) {
+    Descent d;
+    d.parent = entry_;
+    d.parentVer = visit(entry_);
+    d.slot = 0;
+    Node* cur = entry_->children[0].load();
+    for (;;) {
+      if (cur == nullptr) {  // racing replacement: torn read
+        d.torn = true;
+        return d;
+      }
+      const Version curVer = visit(cur);
+      if (cur->leaf) {
+        d.leaf = cur;
+        d.leafVer = curVer;
+        return d;
+      }
+      const int slot = childSlot(cur, key);
+      d.parent = cur;
+      d.parentVer = curVer;
+      d.slot = slot;
+      cur = cur->children[static_cast<std::size_t>(slot)].load();
+    }
+  }
+
+  static int childSlot(Node* n, K key) {
+    int i = 0;
+    while (i < n->count && key >= n->keys[static_cast<std::size_t>(i)]) ++i;
+    return i;
+  }
+  static int indexOfKey(Node* leaf, K key) {
+    for (int i = 0; i < leaf->count; ++i) {
+      if (leaf->keys[static_cast<std::size_t>(i)] == key) return i;
+    }
+    return -1;
+  }
+
+  /// New leaf = old leaf plus (key, val), in key order. count must be < B.
+  Node* leafWith(Node* leaf, K key, V val) {
+    Node* n = new Node(true, leaf->count + 1);
+    int j = 0;
+    bool placed = false;
+    for (int i = 0; i < leaf->count; ++i) {
+      const K k = leaf->keys[static_cast<std::size_t>(i)];
+      if (!placed && key < k) {
+        n->keys[static_cast<std::size_t>(j)] = key;
+        n->vals[static_cast<std::size_t>(j)] = val;
+        ++j;
+        placed = true;
+      }
+      n->keys[static_cast<std::size_t>(j)] = k;
+      n->vals[static_cast<std::size_t>(j)] =
+          leaf->vals[static_cast<std::size_t>(i)];
+      ++j;
+    }
+    if (!placed) {
+      n->keys[static_cast<std::size_t>(j)] = key;
+      n->vals[static_cast<std::size_t>(j)] = val;
+    }
+    return n;
+  }
+
+  Node* leafWithout(Node* leaf, K key) {
+    Node* n = new Node(true, leaf->count - 1);
+    int j = 0;
+    for (int i = 0; i < leaf->count; ++i) {
+      if (leaf->keys[static_cast<std::size_t>(i)] == key) continue;
+      n->keys[static_cast<std::size_t>(j)] =
+          leaf->keys[static_cast<std::size_t>(i)];
+      n->vals[static_cast<std::size_t>(j)] =
+          leaf->vals[static_cast<std::size_t>(i)];
+      ++j;
+    }
+    return n;
+  }
+
+  /// Full leaf + new key -> one-key internal node over two half leaves.
+  Node* splitLeafWith(Node* leaf, K key, V val) {
+    // Widened sorted content (B+1 entries) on the stack.
+    std::array<K, B + 1> keys;
+    std::array<V, B + 1> vals;
+    int j = 0;
+    bool placed = false;
+    for (int i = 0; i < leaf->count; ++i) {
+      const K k = leaf->keys[static_cast<std::size_t>(i)];
+      if (!placed && key < k) {
+        keys[static_cast<std::size_t>(j)] = key;
+        vals[static_cast<std::size_t>(j)] = val;
+        ++j;
+        placed = true;
+      }
+      keys[static_cast<std::size_t>(j)] = k;
+      vals[static_cast<std::size_t>(j)] =
+          leaf->vals[static_cast<std::size_t>(i)];
+      ++j;
+    }
+    if (!placed) {
+      keys[static_cast<std::size_t>(j)] = key;
+      vals[static_cast<std::size_t>(j)] = val;
+    }
+    const int total = B + 1;
+    const int lCount = total / 2;
+    Node* l = new Node(true, lCount);
+    Node* r = new Node(true, total - lCount);
+    for (int i = 0; i < lCount; ++i) {
+      l->keys[static_cast<std::size_t>(i)] = keys[static_cast<std::size_t>(i)];
+      l->vals[static_cast<std::size_t>(i)] = vals[static_cast<std::size_t>(i)];
+    }
+    for (int i = 0; i < r->count; ++i) {
+      r->keys[static_cast<std::size_t>(i)] =
+          keys[static_cast<std::size_t>(lCount + i)];
+      r->vals[static_cast<std::size_t>(i)] =
+          vals[static_cast<std::size_t>(lCount + i)];
+    }
+    Node* mid = new Node(false, 1);
+    mid->keys[0] = r->keys[0];
+    mid->children[0].setInitial(l);
+    mid->children[1].setInitial(r);
+    return mid;
+  }
+
+  static void freeReplacement(Node* n) {
+    if (!n->leaf) {
+      delete n->children[0].load();
+      delete n->children[1].load();
+    }
+    delete n;
+  }
+
+  std::uint64_t countKeys(Node* n) const {
+    if (n == nullptr) return 0;
+    if (n->leaf) return static_cast<std::uint64_t>(n->count);
+    std::uint64_t total = 0;
+    for (int i = 0; i <= n->count; ++i)
+      total += countKeys(n->children[static_cast<std::size_t>(i)].load());
+    return total;
+  }
+  std::int64_t sumKeys(Node* n) const {
+    if (n == nullptr) return 0;
+    if (n->leaf) {
+      std::int64_t s = 0;
+      for (int i = 0; i < n->count; ++i)
+        s += static_cast<std::int64_t>(n->keys[static_cast<std::size_t>(i)]);
+      return s;
+    }
+    std::int64_t s = 0;
+    for (int i = 0; i <= n->count; ++i)
+      s += sumKeys(n->children[static_cast<std::size_t>(i)].load());
+    return s;
+  }
+  void checkRec(Node* n, K lo, K hi) const {
+    PATHCAS_CHECK(n != nullptr);
+    PATHCAS_CHECK(!isMarked(n->ver.load()));
+    K prev = lo;
+    for (int i = 0; i < n->count; ++i) {
+      const K k = n->keys[static_cast<std::size_t>(i)];
+      PATHCAS_CHECK(k >= prev && k < hi);
+      prev = k;
+    }
+    if (n->leaf) return;
+    for (int i = 0; i <= n->count; ++i) {
+      const K clo = (i == 0) ? lo : n->keys[static_cast<std::size_t>(i - 1)];
+      const K chi =
+          (i == n->count) ? hi : n->keys[static_cast<std::size_t>(i)];
+      checkRec(n->children[static_cast<std::size_t>(i)].load(), clo, chi);
+    }
+  }
+  void freeSubtree(Node* n) {
+    if (n == nullptr) return;
+    if (!n->leaf) {
+      for (int i = 0; i <= n->count; ++i)
+        freeSubtree(n->children[static_cast<std::size_t>(i)].load());
+    }
+    delete n;
+  }
+
+  recl::EbrDomain& ebr_;
+  Node* entry_;
+};
+
+}  // namespace pathcas::ds

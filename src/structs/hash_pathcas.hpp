@@ -1,0 +1,59 @@
+// Fixed-capacity chained hash table via PathCAS ("hash-lists" from the
+// paper's conclusion): an array of PathCAS sorted-list buckets. Chains stay
+// short, so the list's read-set bound is never a constraint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "structs/list_pathcas.hpp"
+
+namespace pathcas::ds {
+
+template <typename K = std::int64_t, typename V = std::int64_t>
+class HashMapPathCas {
+ public:
+  explicit HashMapPathCas(std::size_t bucketCount = 1024,
+                          recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : mask_(roundUpPow2(bucketCount) - 1) {
+    buckets_.reserve(mask_ + 1);
+    for (std::size_t i = 0; i <= mask_; ++i)
+      buckets_.push_back(std::make_unique<ListPathCas<K, V>>(ebr));
+  }
+
+  bool insert(K key, V val) { return bucket(key).insert(key, val); }
+  bool erase(K key) { return bucket(key).erase(key); }
+  bool contains(K key) { return bucket(key).contains(key); }
+  std::optional<V> get(K key) { return bucket(key).get(key); }
+
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (const auto& b : buckets_) n += b->size();
+    return n;
+  }
+  std::int64_t keySum() const {
+    std::int64_t s = 0;
+    for (const auto& b : buckets_) s += b->keySum();
+    return s;
+  }
+
+  static constexpr const char* name() { return "hash-pathcas"; }
+
+ private:
+  static std::size_t roundUpPow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+  ListPathCas<K, V>& bucket(K key) {
+    const auto h = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return *buckets_[(h >> 32) & mask_];
+  }
+
+  std::size_t mask_;
+  std::vector<std::unique_ptr<ListPathCas<K, V>>> buckets_;
+};
+
+}  // namespace pathcas::ds

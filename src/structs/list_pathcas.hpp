@@ -1,0 +1,167 @@
+// Sorted linked-list set via PathCAS — the first of the conclusion's
+// "read phase followed by write phase" extension structures. The operation
+// pattern is exactly the paper's recipe: visit each node traversed, then add
+// the modification and vexec (or validate, for reads).
+//
+// The read-set bound applies: lists longer than the PathCAS path capacity
+// are out of contract (footnote 2 of the paper); use the hash table for
+// large key sets.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "pathcas/pathcas.hpp"
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas::ds {
+
+template <typename K = std::int64_t, typename V = std::int64_t>
+class ListPathCas {
+ public:
+  static constexpr K kNegInf = std::numeric_limits<K>::min() / 4;
+  static constexpr K kPosInf = std::numeric_limits<K>::max() / 4;
+
+  struct Node {
+    casword<Version> ver;
+    casword<K> key;  // immutable after publication, casword for uniformity
+    casword<V> val;
+    casword<Node*> next;
+    Node(K k, V v) {
+      key.setInitial(k);
+      val.setInitial(v);
+    }
+  };
+
+  explicit ListPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {
+    tail_ = new Node(kPosInf, V{});
+    head_ = new Node(kNegInf, V{});
+    head_->next.setInitial(tail_);
+  }
+
+  ListPathCas(const ListPathCas&) = delete;
+  ListPathCas& operator=(const ListPathCas&) = delete;
+
+  ~ListPathCas() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load();
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const Pos pos = find(key);
+      if (pos.found) return true;  // §4.1-style: reachable => present
+      if (validate()) return false;
+    }
+  }
+
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    Node* node = nullptr;
+    for (;;) {
+      start();
+      const Pos pos = find(key);
+      if (pos.found) {
+        delete node;
+        return false;
+      }
+      if (node == nullptr) node = new Node(key, val);
+      node->next.setInitial(pos.curr);
+      add(pos.pred->next, pos.curr, node);
+      addVer(pos.pred->ver, pos.predVer, verBump(pos.predVer));
+      // The pred->curr link is pinned by the entries; the earlier path needs
+      // no validation for a successful insert (exec suffices, cf. §4.1).
+      if (pathcas::exec()) return true;
+    }
+  }
+
+  bool erase(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const Pos pos = find(key);
+      if (!pos.found) {
+        if (validate()) return false;
+        continue;
+      }
+      if (isMarked(pos.currVer) || isMarked(pos.predVer)) continue;
+      Node* const succ = pos.curr->next;
+      add(pos.pred->next, pos.curr, succ);
+      addVer(pos.pred->ver, pos.predVer, verBump(pos.predVer));
+      addVer(pos.curr->ver, pos.currVer, verMark(pos.currVer));
+      if (pathcas::exec()) {
+        ebr_.retire(pos.curr);
+        return true;
+      }
+    }
+  }
+
+  std::optional<V> get(K key) {
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const Pos pos = find(key);
+      if (pos.found) return pos.curr->val.load();
+      if (validate()) return std::nullopt;
+    }
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (Node* c = head_->next.load(); c != tail_; c = c->next.load()) ++n;
+    return n;
+  }
+  std::int64_t keySum() const {
+    std::int64_t s = 0;
+    for (Node* c = head_->next.load(); c != tail_; c = c->next.load())
+      s += static_cast<std::int64_t>(c->key.load());
+    return s;
+  }
+
+  static constexpr const char* name() { return "list-pathcas"; }
+
+ private:
+  struct Pos {
+    bool found;
+    Node* pred;
+    Version predVer;
+    Node* curr;
+    Version currVer;
+  };
+
+  /// Traverse visiting every node, stopping at the first key >= `key`.
+  Pos find(K key) {
+    Node* pred = head_;
+    Version predVer = visit(pred);
+    Node* curr = pred->next;
+    Version currVer = visit(curr);
+    for (;;) {
+      const K ck = curr->key;
+      if (ck >= key) {
+        return {ck == key, pred, predVer, curr, currVer};
+      }
+      pred = curr;
+      predVer = currVer;
+      curr = curr->next;
+      currVer = visit(curr);
+    }
+  }
+
+  recl::EbrDomain& ebr_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace pathcas::ds

@@ -1,0 +1,251 @@
+// Skip-list set via PathCAS. A strong demonstration of the primitive's
+// expressiveness: an insert links its whole tower — every level's
+// predecessor pointer — in ONE atomic vexec, and a delete unlinks all levels
+// and marks the node atomically. There are no transient half-linked towers,
+// which eliminates the trickiest part of hand-crafted lock-free skip lists.
+//
+// Searches visit the nodes they traverse (O(log n) expected), so validated
+// not-found answers are atomic snapshots of the search path, as in the trees.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "pathcas/pathcas.hpp"
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::ds {
+
+template <typename K = std::int64_t, typename V = std::int64_t,
+          int MaxLevel = 20>
+class SkipListPathCas {
+ public:
+  static constexpr K kNegInf = std::numeric_limits<K>::min() / 4;
+  static constexpr K kPosInf = std::numeric_limits<K>::max() / 4;
+
+  struct Node {
+    casword<Version> ver;
+    casword<K> key;
+    casword<V> val;
+    const int height;  // levels 0..height-1 are linked
+    casword<Node*> next[MaxLevel];
+
+    Node(K k, V v, int h) : height(h) {
+      key.setInitial(k);
+      val.setInitial(v);
+    }
+  };
+
+  explicit SkipListPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {
+    tail_ = new Node(kPosInf, V{}, MaxLevel);
+    head_ = new Node(kNegInf, V{}, MaxLevel);
+    for (int l = 0; l < MaxLevel; ++l) head_->next[l].setInitial(tail_);
+  }
+
+  SkipListPathCas(const SkipListPathCas&) = delete;
+  SkipListPathCas& operator=(const SkipListPathCas&) = delete;
+
+  ~SkipListPathCas() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next[0].load();
+      delete n;
+      n = next;
+    }
+  }
+
+  bool contains(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      Found f;
+      searchTo(key, f);
+      if (f.found) return true;
+      if (validate()) return false;
+    }
+  }
+
+  std::optional<V> get(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      Found f;
+      searchTo(key, f);
+      if (f.found) return f.node->val.load();
+      if (validate()) return std::nullopt;
+    }
+  }
+
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    Node* node = nullptr;
+    const int h = randomHeight();
+    for (;;) {
+      start();
+      Found f;
+      searchTo(key, f);
+      if (f.found) {
+        if (!isMarked(f.nodeVer)) {
+          delete node;
+          return false;  // reachable & unmarked: present
+        }
+        continue;  // marked twin still linked at some level; retry
+      }
+      if (node == nullptr) node = new Node(key, val, h);
+      bool bad = false;
+      for (int l = 0; l < h && !bad; ++l) {
+        if (isMarked(f.predVer[l]) || f.succ[l] == nullptr) bad = true;
+      }
+      if (bad) continue;
+      for (int l = 0; l < h; ++l) node->next[l].setInitial(f.succ[l]);
+      // Link every level in one atomic step. Each distinct predecessor's
+      // version is bumped once (duplicate adds are illegal).
+      for (int l = 0; l < h; ++l)
+        add(f.pred[l]->next[l], f.succ[l], node);
+      addPredVersionBumps(f, h);
+      if (vexec()) return true;
+    }
+  }
+
+  bool erase(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      Found f;
+      searchTo(key, f);
+      if (!f.found) {
+        if (validate()) return false;
+        continue;
+      }
+      if (isMarked(f.nodeVer)) continue;
+      Node* const n = f.node;
+      const int h = n->height;
+      bool bad = false;
+      for (int l = 0; l < h && !bad; ++l) {
+        if (isMarked(f.predVer[l]) || f.succ[l] != n) bad = true;
+      }
+      if (bad) continue;
+      // Unlink every level and mark the node in one atomic step. The node's
+      // next pointers are pinned by its version entry.
+      for (int l = 0; l < h; ++l)
+        add(f.pred[l]->next[l], n, n->next[l].load());
+      addPredVersionBumps(f, h);
+      addVer(n->ver, f.nodeVer, verMark(f.nodeVer));
+      if (vexec()) {
+        ebr_.retire(n);
+        return true;
+      }
+    }
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (Node* c = head_->next[0].load(); c != tail_; c = c->next[0].load())
+      ++n;
+    return n;
+  }
+  std::int64_t keySum() const {
+    std::int64_t s = 0;
+    for (Node* c = head_->next[0].load(); c != tail_; c = c->next[0].load())
+      s += static_cast<std::int64_t>(c->key.load());
+    return s;
+  }
+  /// Quiescent structural check: bottom level sorted; every upper-level link
+  /// connects nodes that are adjacent-or-ordered on the bottom level.
+  void checkInvariants() const {
+    K prev = kNegInf;
+    for (Node* c = head_->next[0].load(); c != tail_;
+         c = c->next[0].load()) {
+      const K k = c->key.load();
+      PATHCAS_CHECK(k > prev);
+      PATHCAS_CHECK(!isMarked(c->ver.load()));
+      prev = k;
+    }
+    for (int l = 1; l < MaxLevel; ++l) {
+      K p = kNegInf;
+      for (Node* c = head_->next[l].load(); c != tail_;
+           c = c->next[l].load()) {
+        const K k = c->key.load();
+        PATHCAS_CHECK(k > p);
+        PATHCAS_CHECK(l < c->height);
+        p = k;
+      }
+    }
+  }
+
+  static constexpr const char* name() { return "skiplist-pathcas"; }
+
+ private:
+  struct Found {
+    Node* pred[MaxLevel];
+    Version predVer[MaxLevel];
+    Node* succ[MaxLevel];
+    bool found = false;
+    Node* node = nullptr;
+    Version nodeVer = 0;
+  };
+
+  /// Top-down search visiting each node whose pointers we traverse; fills
+  /// per-level predecessors/successors (the standard skip-list find, plus
+  /// visits).
+  void searchTo(K key, Found& f) {
+    Node* pred = head_;
+    Version predVer = visit(pred);
+    for (int l = MaxLevel - 1; l >= 0; --l) {
+      Node* curr = pred->next[l];
+      for (;;) {
+        if (curr == nullptr) break;  // torn read; vexec/validate will fail
+        const Version currVer = visit(curr);
+        const K ck = curr->key;
+        if (ck < key) {
+          pred = curr;
+          predVer = currVer;
+          curr = pred->next[l];
+          continue;
+        }
+        if (ck == key) {
+          f.found = true;
+          f.node = curr;
+          f.nodeVer = currVer;
+        }
+        break;
+      }
+      f.pred[l] = pred;
+      f.predVer[l] = predVer;
+      f.succ[l] = curr;
+    }
+  }
+
+  /// Bump each *distinct* predecessor's version exactly once.
+  void addPredVersionBumps(const Found& f, int h) {
+    for (int l = 0; l < h; ++l) {
+      bool seen = false;
+      for (int m = l + 1; m < h && !seen; ++m) seen = (f.pred[m] == f.pred[l]);
+      if (!seen)
+        addVer(f.pred[l]->ver, f.predVer[l], verBump(f.predVer[l]));
+    }
+  }
+
+  int randomHeight() {
+    static thread_local Xoshiro256 rng(
+        0xabcdef1234567ULL + static_cast<std::uint64_t>(ThreadRegistry::tid()));
+    int h = 1;
+    while (h < MaxLevel && (rng.next() & 1)) ++h;
+    return h;
+  }
+
+  recl::EbrDomain& ebr_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace pathcas::ds

@@ -1,0 +1,162 @@
+// Stack and queue via PathCAS (the conclusion's remaining containers).
+// Both showcase how KCAS-width atomicity removes the classic fine-grained
+// contortions: the queue updates tail *and* the last node's next pointer in
+// one atomic exec, so there is no Michael-Scott "lagging tail" to repair.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "pathcas/pathcas.hpp"
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas::ds {
+
+template <typename T = std::int64_t>
+class StackPathCas {
+ public:
+  static_assert(std::is_integral_v<T>);
+
+  explicit StackPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {}
+
+  StackPathCas(const StackPathCas&) = delete;
+  StackPathCas& operator=(const StackPathCas&) = delete;
+
+  ~StackPathCas() {
+    Node* n = head_.load();
+    while (n != nullptr) {
+      Node* next = n->next.load();
+      delete n;
+      n = next;
+    }
+  }
+
+  void push(T v) {
+    auto guard = ebr_.pin();
+    Node* node = new Node(v);
+    for (;;) {
+      start();
+      Node* const top = head_;
+      node->next.setInitial(top);
+      add(head_, top, node);
+      if (pathcas::exec()) return;
+    }
+  }
+
+  std::optional<T> pop() {
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      Node* const top = head_;
+      if (top == nullptr) return std::nullopt;
+      const Version tv = visit(top);
+      if (isMarked(tv)) continue;
+      const T v = top->val.load();
+      add(head_, top, top->next.load());
+      addVer(top->ver, tv, verMark(tv));
+      if (pathcas::exec()) {
+        ebr_.retire(top);
+        return v;
+      }
+    }
+  }
+
+  bool empty() const { return head_.load() == nullptr; }
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (Node* c = head_.load(); c != nullptr; c = c->next.load()) ++n;
+    return n;
+  }
+
+ private:
+  struct Node {
+    casword<Version> ver;
+    casword<T> val;
+    casword<Node*> next;
+    explicit Node(T v) { val.setInitial(v); }
+  };
+  recl::EbrDomain& ebr_;
+  casword<Node*> head_;
+};
+
+template <typename T = std::int64_t>
+class QueuePathCas {
+ public:
+  static_assert(std::is_integral_v<T>);
+
+  explicit QueuePathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {
+    Node* sentinel = new Node(T{});
+    head_.setInitial(sentinel);
+    tail_.setInitial(sentinel);
+  }
+
+  QueuePathCas(const QueuePathCas&) = delete;
+  QueuePathCas& operator=(const QueuePathCas&) = delete;
+
+  ~QueuePathCas() {
+    Node* n = head_.load();
+    while (n != nullptr) {
+      Node* next = n->next.load();
+      delete n;
+      n = next;
+    }
+  }
+
+  void enqueue(T v) {
+    auto guard = ebr_.pin();
+    Node* node = new Node(v);
+    for (;;) {
+      start();
+      Node* const t = tail_;
+      // One atomic step links the node AND advances tail: no lagging-tail
+      // helping protocol needed.
+      add(t->next, static_cast<Node*>(nullptr), node);
+      add(tail_, t, node);
+      if (pathcas::exec()) return;
+    }
+  }
+
+  std::optional<T> dequeue() {
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      Node* const h = head_;
+      const Version hv = visit(h);
+      if (isMarked(hv)) continue;
+      Node* const first = h->next;
+      if (first == nullptr) return std::nullopt;
+      const T v = first->val.load();
+      add(head_, h, first);
+      addVer(h->ver, hv, verMark(hv));
+      if (pathcas::exec()) {
+        ebr_.retire(h);  // old sentinel; `first` becomes the new sentinel
+        return v;
+      }
+    }
+  }
+
+  bool empty() const { return head_.load()->next.load() == nullptr; }
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    for (Node* c = head_.load()->next.load(); c != nullptr;
+         c = c->next.load())
+      ++n;
+    return n;
+  }
+
+ private:
+  struct Node {
+    casword<Version> ver;
+    casword<T> val;
+    casword<Node*> next;
+    explicit Node(T v) { val.setInitial(v); }
+  };
+  recl::EbrDomain& ebr_;
+  casword<Node*> head_;
+  casword<Node*> tail_;
+};
+
+}  // namespace pathcas::ds

@@ -1,0 +1,315 @@
+// Non-blocking external BST of Ellen, Fatourou, Ruppert & van Breugel
+// (PODC'10) — the paper's `ext-bst-lf` baseline, implemented from scratch.
+//
+// Keys live in leaves; internal nodes carry routing keys and an `update`
+// word packing (Info*, state) with state ∈ {CLEAN, IFLAG, DFLAG, MARK}.
+// Updates flag the affected internal node(s) with an Info record describing
+// the operation, so any thread encountering a flag can help the operation to
+// completion — the classic fine-grained helping protocol PathCAS is designed
+// to let you avoid writing.
+//
+// Info records, replaced leaves and unlinked internal nodes are reclaimed
+// through EBR; flag words hold stale (never-dereferenced) Info pointers in
+// the CLEAN state, exactly as in the original algorithm.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas::ds {
+
+template <typename K = std::int64_t, typename V = std::int64_t>
+class EllenBst {
+ public:
+  static constexpr K kInf1 = std::numeric_limits<K>::max() / 4 - 1;
+  static constexpr K kInf2 = std::numeric_limits<K>::max() / 4;
+
+  explicit EllenBst(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {
+    root_ = new Node(kInf2, V{}, /*leaf=*/false);
+    root_->left.store(new Node(kInf1, V{}, true));
+    root_->right.store(new Node(kInf2, V{}, true));
+  }
+
+  EllenBst(const EllenBst&) = delete;
+  EllenBst& operator=(const EllenBst&) = delete;
+
+  ~EllenBst() { freeSubtree(root_); }
+
+  bool contains(K key) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    const SearchResult s = search(key);
+    return s.l->key == key;
+  }
+
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    Node* newLeaf = new Node(key, val, true);
+    for (;;) {
+      const SearchResult s = search(key);
+      if (s.l->key == key) {
+        delete newLeaf;
+        return false;
+      }
+      if (stateOf(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      Node* newSibling = new Node(s.l->key, s.l->val, true);
+      Node* newInternal =
+          new Node(std::max(key, s.l->key), V{}, /*leaf=*/false);
+      if (key < s.l->key) {
+        newInternal->left.store(newLeaf);
+        newInternal->right.store(newSibling);
+      } else {
+        newInternal->left.store(newSibling);
+        newInternal->right.store(newLeaf);
+      }
+      Info* op = new Info();
+      op->p = s.p;
+      op->newInternal = newInternal;
+      op->l = s.l;
+      std::uint64_t expected = s.pupdate;
+      if (s.p->update.compare_exchange_strong(expected,
+                                              pack(op, kIFlag))) {
+        helpInsert(op);
+        return true;
+      }
+      help(expected);
+      delete newSibling;
+      delete newInternal;
+      delete op;
+    }
+  }
+
+  bool erase(K key) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    for (;;) {
+      const SearchResult s = search(key);
+      if (s.l->key != key) return false;
+      if (stateOf(s.gpupdate) != kClean) {
+        help(s.gpupdate);
+        continue;
+      }
+      if (stateOf(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      Info* op = new Info();
+      op->gp = s.gp;
+      op->p = s.p;
+      op->l = s.l;
+      op->pupdate = s.pupdate;
+      std::uint64_t expected = s.gpupdate;
+      if (s.gp->update.compare_exchange_strong(expected,
+                                               pack(op, kDFlag))) {
+        if (helpDelete(op)) return true;
+      } else {
+        help(expected);
+        delete op;
+      }
+    }
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    countLeaves(root_, n);
+    return n - 2;  // sentinel leaves
+  }
+  std::int64_t keySum() const { return sumLeaves(root_); }
+
+  /// Average depth of real keys (quiescent), for the Fig. 5 analysis.
+  double avgKeyDepth() const {
+    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
+    depthWalk(root_, 1, depthSum, keys, nodes);
+    return keys ? static_cast<double>(depthSum) / static_cast<double>(keys)
+                : 0.0;
+  }
+  std::uint64_t footprintBytes() const {
+    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
+    depthWalk(root_, 1, depthSum, keys, nodes);
+    return nodes * sizeof(Node);
+  }
+
+  static constexpr const char* name() { return "ext-bst-lf"; }
+
+ private:
+  enum State : std::uint64_t { kClean = 0, kIFlag = 1, kDFlag = 2, kMark = 3 };
+
+  struct Node;
+  struct Info {
+    Node* gp = nullptr;
+    Node* p = nullptr;
+    Node* newInternal = nullptr;
+    Node* l = nullptr;
+    std::uint64_t pupdate = 0;
+    std::atomic<bool> retired{false};  // first finisher retires exactly once
+  };
+
+  struct Node {
+    const K key;
+    const V val;
+    const bool leaf;
+    std::atomic<std::uint64_t> update{0};  // (Info* | state)
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    Node(K k, V v, bool isLeaf) : key(k), val(v), leaf(isLeaf) {}
+  };
+
+  struct SearchResult {
+    Node* gp;
+    Node* p;
+    Node* l;
+    std::uint64_t pupdate;
+    std::uint64_t gpupdate;
+  };
+
+  static std::uint64_t pack(Info* info, State s) {
+    return reinterpret_cast<std::uintptr_t>(info) | s;
+  }
+  static State stateOf(std::uint64_t u) { return static_cast<State>(u & 3); }
+  static Info* infoOf(std::uint64_t u) {
+    return reinterpret_cast<Info*>(u & ~std::uint64_t{3});
+  }
+
+  SearchResult search(K key) const {
+    SearchResult s{nullptr, nullptr, root_, 0, 0};
+    while (!s.l->leaf) {
+      s.gp = s.p;
+      s.p = s.l;
+      s.gpupdate = s.pupdate;
+      s.pupdate = s.p->update.load(std::memory_order_acquire);
+      s.l = (key < s.p->key) ? s.p->left.load(std::memory_order_acquire)
+                             : s.p->right.load(std::memory_order_acquire);
+    }
+    return s;
+  }
+
+  void help(std::uint64_t u) {
+    switch (stateOf(u)) {
+      case kIFlag:
+        helpInsert(infoOf(u));
+        break;
+      case kMark:
+        helpMarked(infoOf(u));
+        break;
+      case kDFlag:
+        helpDelete(infoOf(u));
+        break;
+      case kClean:
+        break;
+    }
+  }
+
+  /// Swing the parent's child pointer from `old` to `next` (key-directed).
+  static void casChild(Node* parent, Node* old, Node* next) {
+    std::atomic<Node*>& child =
+        (next->key < parent->key) ? parent->left : parent->right;
+    Node* expected = old;
+    child.compare_exchange_strong(expected, next);
+  }
+
+  void helpInsert(Info* op) {
+    casChild(op->p, op->l, op->newInternal);
+    std::uint64_t expected = pack(op, kIFlag);
+    if (op->p->update.compare_exchange_strong(expected, pack(op, kClean))) {
+      // We finished the operation: retire the replaced leaf and the record.
+      retireOnce(op, [&] {
+        ebr_.retire(op->l);
+        ebr_.retire(op);
+      });
+    }
+  }
+
+  bool helpDelete(Info* op) {
+    std::uint64_t expected = op->pupdate;
+    const std::uint64_t marked = pack(op, kMark);
+    if (op->p->update.compare_exchange_strong(expected, marked) ||
+        expected == marked) {
+      helpMarked(op);
+      return true;
+    }
+    help(op->p->update.load(std::memory_order_acquire));
+    std::uint64_t flagged = pack(op, kDFlag);
+    if (op->gp->update.compare_exchange_strong(flagged, pack(op, kClean))) {
+      retireOnce(op, [&] { ebr_.retire(op); });  // backtracked: only the record
+    }
+    return false;
+  }
+
+  void helpMarked(Info* op) {
+    Node* const p = op->p;
+    Node* other = p->right.load(std::memory_order_acquire);
+    if (other == op->l) other = p->left.load(std::memory_order_acquire);
+    // `other` keys may be on either side of gp; direct by comparison with l.
+    std::atomic<Node*>& child = (op->p == op->gp->left.load())
+                                    ? op->gp->left
+                                    : op->gp->right;
+    Node* expected = op->p;
+    child.compare_exchange_strong(expected, other);
+    std::uint64_t flagged = pack(op, kDFlag);
+    if (op->gp->update.compare_exchange_strong(flagged, pack(op, kClean))) {
+      retireOnce(op, [&] {
+        ebr_.retire(op->p);
+        ebr_.retire(op->l);
+        ebr_.retire(op);
+      });
+    }
+  }
+
+  template <typename F>
+  static void retireOnce(Info* op, F&& f) {
+    bool expected = false;
+    if (op->retired.compare_exchange_strong(expected, true)) f();
+  }
+
+  void depthWalk(Node* n, std::uint64_t depth, std::uint64_t& depthSum,
+                 std::uint64_t& keys, std::uint64_t& nodes) const {
+    if (n == nullptr) return;
+    ++nodes;
+    if (n->leaf) {
+      if (n->key < kInf1) {
+        depthSum += depth;
+        ++keys;
+      }
+      return;
+    }
+    depthWalk(n->left.load(), depth + 1, depthSum, keys, nodes);
+    depthWalk(n->right.load(), depth + 1, depthSum, keys, nodes);
+  }
+
+  void countLeaves(Node* n, std::uint64_t& acc) const {
+    if (n == nullptr) return;
+    if (n->leaf) {
+      ++acc;
+      return;
+    }
+    countLeaves(n->left.load(), acc);
+    countLeaves(n->right.load(), acc);
+  }
+  std::int64_t sumLeaves(Node* n) const {
+    if (n == nullptr) return 0;
+    if (n->leaf) return (n->key >= kInf1) ? 0 : static_cast<std::int64_t>(n->key);
+    return sumLeaves(n->left.load()) + sumLeaves(n->right.load());
+  }
+  void freeSubtree(Node* n) {
+    if (n == nullptr) return;
+    if (!n->leaf) {
+      freeSubtree(n->left.load());
+      freeSubtree(n->right.load());
+    }
+    delete n;
+  }
+
+  recl::EbrDomain& ebr_;
+  Node* root_;
+};
+
+}  // namespace pathcas::ds

@@ -1,0 +1,336 @@
+// Lock-free *internal* binary search tree built with PathCAS (§4 of the
+// paper, Algorithms 3-6), including the §4.1 validation-reduction
+// optimizations (toggleable for the ablation benchmark).
+//
+// Structure: two sentinels — maxRoot (key +inf) whose left child is minRoot
+// (key -inf); all real keys live in minRoot's right subtree. Every node
+// carries a PathCAS version word; nodes are unlinked and marked in the same
+// atomic PathCAS (so reachability == unmarked), and retired through EBR.
+//
+// Linearizability follows the paper's appendix E argument: every update
+// either performs a successful PathCAS whose validation/entries pin the
+// relevant part of the structure, or returns after a validated search
+// established an atomic snapshot of the search path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "pathcas/pathcas.hpp"
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas::ds {
+
+/// Aggregate structural statistics (quiescent-state only), used by the
+/// benchmark harness for keysum validation and the Fig. 5 factor analysis.
+struct TreeStats {
+  std::uint64_t size = 0;          // keys logically present
+  std::uint64_t nodeCount = 0;     // allocated reachable nodes
+  std::uint64_t height = 0;
+  double avgKeyDepth = 0.0;
+  std::int64_t keySum = 0;
+  std::uint64_t footprintBytes = 0;  // nodeCount * sizeof(Node)
+};
+
+/// Configuration knobs (the §4.1 ablation).
+struct IntBstOptions {
+  /// Skip validation when contains/insert finds the key (§4.1) and use exec
+  /// instead of vexec for leaf/one-child deletions.
+  bool reduceValidation = true;
+  /// Route updates through the HTM fast path (the paper's int-bst-pathcas+).
+  bool useHtmFastPath = false;
+};
+
+template <typename K = std::int64_t, typename V = std::int64_t>
+class IntBstPathCas {
+ public:
+  static_assert(std::is_integral_v<K> && std::is_integral_v<V>);
+  /// Sentinel keys; user keys must lie strictly between them.
+  static constexpr K kNegInf = std::numeric_limits<K>::min() / 4;
+  static constexpr K kPosInf = std::numeric_limits<K>::max() / 4;
+
+  struct Node {
+    casword<Version> ver;
+    casword<K> key;
+    casword<V> val;
+    casword<Node*> left;
+    casword<Node*> right;
+
+    Node(K k, V v) {
+      key.setInitial(k);
+      val.setInitial(v);
+    }
+  };
+
+  explicit IntBstPathCas(IntBstOptions options = {},
+                         recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : opt_(options), ebr_(ebr) {
+    maxRoot_ = new Node(kPosInf, V{});
+    minRoot_ = new Node(kNegInf, V{});
+    maxRoot_->left.setInitial(minRoot_);
+  }
+
+  IntBstPathCas(const IntBstPathCas&) = delete;
+  IntBstPathCas& operator=(const IntBstPathCas&) = delete;
+
+  ~IntBstPathCas() {
+    // Quiescent teardown: free all reachable nodes directly.
+    freeSubtree(minRoot_->right.load());
+    delete minRoot_;
+    delete maxRoot_;
+  }
+
+  /// True iff key is in the set. Validation is skipped on found keys when
+  /// reduceValidation is on (§4.1: a reachable node was unmarked, hence in
+  /// the set at some time during the operation).
+  bool contains(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const SearchResult s = search(key);
+      if (s.found && (opt_.reduceValidation || validate())) return true;
+      if (!s.found && validate()) return false;
+    }
+  }
+
+  /// Returns the value associated with key, if present (linearized at the
+  /// value read).
+  std::optional<V> get(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const SearchResult s = search(key);
+      if (s.found && (opt_.reduceValidation || validate()))
+        return s.curr->val.load();
+      if (!s.found && validate()) return std::nullopt;
+    }
+  }
+
+  /// insertIfAbsent (Algorithm 4). Returns false iff key was already present.
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    Node* leaf = nullptr;
+    for (;;) {
+      start();
+      const SearchResult s = search(key);
+      if (s.found) {
+        if (opt_.reduceValidation || validate()) {
+          delete leaf;
+          return false;
+        }
+        continue;
+      }
+      if (leaf == nullptr) leaf = new Node(key, val);
+      const K parentKey = s.parent->key;
+      auto& ptrToChange =
+          (key < parentKey) ? s.parent->left : s.parent->right;
+      add(ptrToChange, static_cast<Node*>(nullptr), leaf);
+      addVer(s.parent->ver, s.parentVer, verBump(s.parentVer));
+      if (vex()) return true;
+    }
+  }
+
+  /// delete(key) (Algorithm 6). Returns false iff key was absent.
+  bool erase(K key) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    auto guard = ebr_.pin();
+    for (;;) {
+      start();
+      const SearchResult s = search(key);
+      if (!s.found) {
+        if (validate()) return false;
+        continue;
+      }
+      if (isMarked(s.currVer) || isMarked(s.parentVer)) continue;
+      Node* curr = s.curr;
+      Node* parent = s.parent;
+      Node* const currLeft = curr->left;
+      Node* const currRight = curr->right;
+
+      if (currLeft == nullptr && currRight == nullptr) {
+        // Leaf deletion: unlink curr and mark it.
+        auto& ptrToChange =
+            (curr == parent->left.load()) ? parent->left : parent->right;
+        add(ptrToChange, curr, static_cast<Node*>(nullptr));
+        addVer(parent->ver, s.parentVer, verBump(s.parentVer));
+        addVer(curr->ver, s.currVer, verMark(s.currVer));
+        if (execOrVex()) {
+          ebr_.retire(curr);
+          return true;
+        }
+      } else if (currLeft == nullptr || currRight == nullptr) {
+        // One-child deletion: splice the child into curr's place.
+        Node* childToKeep = (currLeft == nullptr) ? currRight : currLeft;
+        auto& ptrToChange =
+            (curr == parent->left.load()) ? parent->left : parent->right;
+        add(ptrToChange, curr, childToKeep);
+        addVer(parent->ver, s.parentVer, verBump(s.parentVer));
+        addVer(curr->ver, s.currVer, verMark(s.currVer));
+        if (execOrVex()) {
+          ebr_.retire(curr);
+          return true;
+        }
+      } else {
+        // Two-child deletion: replace curr's key/value with its successor's,
+        // then unlink the successor (which has no left child).
+        const Successor su = getSuccessor(curr, s.currVer);
+        if (su.succ == nullptr || isMarked(su.succVer) ||
+            isMarked(su.succPVer)) {
+          continue;
+        }
+        Node* const succR = su.succ->right;
+        if (succR != nullptr) {
+          const Version succRVer = visit(succR);
+          if (isMarked(succRVer)) continue;
+        }
+        auto& ptrToChange = (su.succP->right.load() == su.succ)
+                                ? su.succP->right
+                                : su.succP->left;
+        add(ptrToChange, su.succ, succR);
+        const V currVal = curr->val;
+        const V succVal = su.succ->val;
+        add(curr->val, currVal, succVal);
+        add(curr->key, key, su.succ->key.load());
+        addVer(su.succ->ver, su.succVer, verMark(su.succVer));
+        addVer(su.succP->ver, su.succPVer, verBump(su.succPVer));
+        if (su.succP != curr)
+          addVer(curr->ver, s.currVer, verBump(s.currVer));
+        if (vex()) {
+          ebr_.retire(su.succ);
+          return true;
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Quiescent-state inspection (tests and the benchmark harness only).
+  // ------------------------------------------------------------------
+
+  /// Walk the tree checking BST order, sentinel structure and that no
+  /// reachable node is marked. Aborts (PATHCAS_CHECK) on violations.
+  /// Returns statistics.
+  TreeStats checkInvariants() const {
+    PATHCAS_CHECK(maxRoot_->left.load() == minRoot_);
+    PATHCAS_CHECK(maxRoot_->right.load() == nullptr);
+    PATHCAS_CHECK(minRoot_->left.load() == nullptr);
+    TreeStats stats;
+    std::uint64_t depthSum = 0;
+    walk(minRoot_->right.load(), kNegInf, kPosInf, 1, stats, depthSum);
+    stats.avgKeyDepth =
+        stats.size ? static_cast<double>(depthSum) / stats.size : 0.0;
+    stats.footprintBytes = (stats.nodeCount + 2) * sizeof(Node);
+    return stats;
+  }
+
+  std::uint64_t size() const { return checkInvariants().size; }
+  std::int64_t keySum() const { return checkInvariants().keySum; }
+
+  /// In-order traversal (quiescent), for oracle comparison in tests.
+  void forEach(const std::function<void(K, V)>& f) const {
+    forEachRec(minRoot_->right.load(), f);
+  }
+
+  static constexpr const char* name() { return "int-bst-pathcas"; }
+
+ private:
+  struct SearchResult {
+    bool found;
+    Node* curr;
+    Version currVer;
+    Node* parent;
+    Version parentVer;
+  };
+  struct Successor {
+    Node* succ;
+    Version succVer;
+    Node* succP;
+    Version succPVer;
+  };
+
+  /// Algorithm 3: traditional BST search, visiting every node traversed.
+  SearchResult search(K key) {
+    Node* parent = maxRoot_;
+    Version parentVer = visit(parent);
+    Node* curr = minRoot_;
+    Version currVer = visit(curr);
+    while (curr != nullptr) {
+      const K currKey = curr->key;
+      if (key == currKey) return {true, curr, currVer, parent, parentVer};
+      Node* next = (key > currKey) ? curr->right.load() : curr->left.load();
+      parent = curr;
+      parentVer = currVer;
+      curr = next;
+      if (curr != nullptr) currVer = visit(curr);
+    }
+    return {false, nullptr, 0, parent, parentVer};
+  }
+
+  /// Algorithm 5: locate curr's successor, visiting the traversed nodes.
+  Successor getSuccessor(Node* start, Version startVer) {
+    Node* succP = start;
+    Version succPVer = startVer;
+    Node* succ = start->right;
+    if (succ == nullptr) return {nullptr, 0, nullptr, 0};
+    Version succVer = visit(succ);
+    for (;;) {
+      Node* next = succ->left;
+      if (next == nullptr) return {succ, succVer, succP, succPVer};
+      succP = succ;
+      succPVer = succVer;
+      succ = next;
+      succVer = visit(next);
+    }
+  }
+
+  bool vex() { return opt_.useHtmFastPath ? vexecFast() : vexec(); }
+  /// §4.1: leaf/one-child deletions need no path validation — the entries
+  /// themselves pin parent and curr.
+  bool execOrVex() {
+    if (opt_.reduceValidation)
+      return opt_.useHtmFastPath ? execFast() : pathcas::exec();
+    return vex();
+  }
+
+  void walk(Node* n, K lo, K hi, std::uint64_t depth, TreeStats& stats,
+            std::uint64_t& depthSum) const {
+    if (n == nullptr) return;
+    const K k = n->key.load();
+    PATHCAS_CHECK(k > lo && k < hi);
+    PATHCAS_CHECK(!isMarked(n->ver.load()));
+    ++stats.size;
+    ++stats.nodeCount;
+    stats.keySum += static_cast<std::int64_t>(k);
+    depthSum += depth;
+    stats.height = std::max(stats.height, depth);
+    walk(n->left.load(), lo, k, depth + 1, stats, depthSum);
+    walk(n->right.load(), k, hi, depth + 1, stats, depthSum);
+  }
+
+  void forEachRec(Node* n, const std::function<void(K, V)>& f) const {
+    if (n == nullptr) return;
+    forEachRec(n->left.load(), f);
+    f(n->key.load(), n->val.load());
+    forEachRec(n->right.load(), f);
+  }
+
+  void freeSubtree(Node* n) {
+    if (n == nullptr) return;
+    freeSubtree(n->left.load());
+    freeSubtree(n->right.load());
+    delete n;
+  }
+
+  IntBstOptions opt_;
+  recl::EbrDomain& ebr_;
+  Node* maxRoot_;
+  Node* minRoot_;
+};
+
+}  // namespace pathcas::ds

@@ -1,0 +1,204 @@
+// External BST with per-node ticket locks, in the style of David, Guerraoui
+// & Trigonakis's BST-TK (ASPLOS'15) — the paper's `ext-bst-locks` baseline.
+// Searches are wait-free and lock-free of any writes; updates lock the
+// affected node(s) (parent for insert; grandparent and parent for delete,
+// acquired ancestor-first so no deadlock), validate that the structure still
+// matches what the search saw, apply, and unlock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+#include "util/locks.hpp"
+
+namespace pathcas::ds {
+
+template <typename K = std::int64_t, typename V = std::int64_t>
+class TicketBst {
+ public:
+  static constexpr K kInf1 = std::numeric_limits<K>::max() / 4 - 1;
+  static constexpr K kInf2 = std::numeric_limits<K>::max() / 4;
+
+  explicit TicketBst(recl::EbrDomain& ebr = recl::EbrDomain::instance())
+      : ebr_(ebr) {
+    root_ = new Node(kInf2, V{}, false);
+    root_->left.store(new Node(kInf1, V{}, true));
+    root_->right.store(new Node(kInf2, V{}, true));
+  }
+
+  TicketBst(const TicketBst&) = delete;
+  TicketBst& operator=(const TicketBst&) = delete;
+
+  ~TicketBst() { freeSubtree(root_); }
+
+  bool contains(K key) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    Node* l = root_;
+    while (!l->leaf) {
+      l = (key < l->key) ? l->left.load(std::memory_order_acquire)
+                         : l->right.load(std::memory_order_acquire);
+    }
+    return l->key == key;
+  }
+
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    Node* newLeaf = new Node(key, val, true);
+    for (;;) {
+      Node* p = nullptr;
+      Node* l = root_;
+      while (!l->leaf) {
+        p = l;
+        l = (key < l->key) ? l->left.load(std::memory_order_acquire)
+                           : l->right.load(std::memory_order_acquire);
+      }
+      if (l->key == key) {
+        delete newLeaf;
+        return false;
+      }
+      p->lock.lock();
+      // Validate under the lock: p still in the tree and still points to l.
+      std::atomic<Node*>& childRef = (key < p->key) ? p->left : p->right;
+      if (p->removed.load(std::memory_order_acquire) ||
+          childRef.load(std::memory_order_acquire) != l) {
+        p->lock.unlock();
+        continue;
+      }
+      Node* newSibling = new Node(l->key, l->val, true);
+      Node* newInternal = new Node(std::max(key, l->key), V{}, false);
+      if (key < l->key) {
+        newInternal->left.store(newLeaf);
+        newInternal->right.store(newSibling);
+      } else {
+        newInternal->left.store(newSibling);
+        newInternal->right.store(newLeaf);
+      }
+      childRef.store(newInternal, std::memory_order_release);
+      p->lock.unlock();
+      ebr_.retire(l);
+      return true;
+    }
+  }
+
+  bool erase(K key) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    for (;;) {
+      Node* gp = nullptr;
+      Node* p = nullptr;
+      Node* l = root_;
+      while (!l->leaf) {
+        gp = p;
+        p = l;
+        l = (key < l->key) ? l->left.load(std::memory_order_acquire)
+                           : l->right.load(std::memory_order_acquire);
+      }
+      if (l->key != key) return false;
+      PATHCAS_CHECK(gp != nullptr);
+      gp->lock.lock();
+      p->lock.lock();
+      std::atomic<Node*>& gpChild = (p == gp->left.load()) ? gp->left
+                                                           : gp->right;
+      std::atomic<Node*>& pChild = (key < p->key) ? p->left : p->right;
+      if (gp->removed.load(std::memory_order_acquire) ||
+          p->removed.load(std::memory_order_acquire) ||
+          gpChild.load(std::memory_order_acquire) != p ||
+          pChild.load(std::memory_order_acquire) != l) {
+        p->lock.unlock();
+        gp->lock.unlock();
+        continue;
+      }
+      Node* const sibling =
+          (&pChild == &p->left) ? p->right.load() : p->left.load();
+      p->removed.store(true, std::memory_order_release);
+      gpChild.store(sibling, std::memory_order_release);
+      p->lock.unlock();
+      gp->lock.unlock();
+      ebr_.retire(p);
+      ebr_.retire(l);
+      return true;
+    }
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    countLeaves(root_, n);
+    return n - 2;
+  }
+  std::int64_t keySum() const { return sumLeaves(root_); }
+
+  double avgKeyDepth() const {
+    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
+    depthWalk(root_, 1, depthSum, keys, nodes);
+    return keys ? static_cast<double>(depthSum) / static_cast<double>(keys)
+                : 0.0;
+  }
+  std::uint64_t footprintBytes() const {
+    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
+    depthWalk(root_, 1, depthSum, keys, nodes);
+    return nodes * sizeof(Node);
+  }
+
+  static constexpr const char* name() { return "ext-bst-locks"; }
+
+ private:
+  struct Node {
+    const K key;
+    const V val;
+    const bool leaf;
+    TicketLock lock;
+    std::atomic<bool> removed{false};
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    Node(K k, V v, bool isLeaf) : key(k), val(v), leaf(isLeaf) {}
+  };
+
+  void depthWalk(Node* n, std::uint64_t depth, std::uint64_t& depthSum,
+                 std::uint64_t& keys, std::uint64_t& nodes) const {
+    if (n == nullptr) return;
+    ++nodes;
+    if (n->leaf) {
+      if (n->key < kInf1) {
+        depthSum += depth;
+        ++keys;
+      }
+      return;
+    }
+    depthWalk(n->left.load(), depth + 1, depthSum, keys, nodes);
+    depthWalk(n->right.load(), depth + 1, depthSum, keys, nodes);
+  }
+
+  void countLeaves(Node* n, std::uint64_t& acc) const {
+    if (n == nullptr) return;
+    if (n->leaf) {
+      ++acc;
+      return;
+    }
+    countLeaves(n->left.load(), acc);
+    countLeaves(n->right.load(), acc);
+  }
+  std::int64_t sumLeaves(Node* n) const {
+    if (n == nullptr) return 0;
+    if (n->leaf)
+      return (n->key >= kInf1) ? 0 : static_cast<std::int64_t>(n->key);
+    return sumLeaves(n->left.load()) + sumLeaves(n->right.load());
+  }
+  void freeSubtree(Node* n) {
+    if (n == nullptr) return;
+    if (!n->leaf) {
+      freeSubtree(n->left.load());
+      freeSubtree(n->right.load());
+    }
+    delete n;
+  }
+
+  recl::EbrDomain& ebr_;
+  Node* root_;
+};
+
+}  // namespace pathcas::ds

@@ -1,0 +1,39 @@
+// Bounded exponential backoff for retry loops (contention management for
+// vexec retries, lock acquisition, and STM aborts).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace pathcas {
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Bounded exponential backoff: spin 2^k pause instructions, doubling up to a
+/// cap. reset() after success.
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t minSpins = 1, std::uint32_t maxSpins = 1024)
+      : cur_(minSpins), min_(minSpins), max_(maxSpins) {}
+
+  void pause() {
+    for (std::uint32_t i = 0; i < cur_; ++i) cpuRelax();
+    if (cur_ < max_) cur_ <<= 1;
+  }
+
+  void reset() { cur_ = min_; }
+
+ private:
+  std::uint32_t cur_, min_, max_;
+};
+
+}  // namespace pathcas

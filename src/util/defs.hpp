@@ -1,0 +1,50 @@
+// Common definitions shared by every module: cache-line geometry, assertion
+// macros, and small compile-time helpers.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pathcas {
+
+/// Cache line size used for padding/alignment decisions. 64 bytes on x86;
+/// we pad to 128 to also defeat adjacent-line prefetcher false sharing.
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kNoFalseSharing = 128;
+
+/// Maximum number of registered threads. Descriptor tables and epoch
+/// announcement arrays are statically sized by this.
+inline constexpr int kMaxThreads = 256;
+
+#define PATHCAS_STRINGIFY_(x) #x
+#define PATHCAS_STRINGIFY(x) PATHCAS_STRINGIFY_(x)
+
+/// Always-on invariant check (unlike assert(), survives NDEBUG): these guard
+/// protocol invariants whose violation would silently corrupt memory.
+#define PATHCAS_CHECK(cond)                                                   \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PATHCAS_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#ifndef NDEBUG
+#define PATHCAS_DCHECK(cond) PATHCAS_CHECK(cond)
+#else
+#define PATHCAS_DCHECK(cond) ((void)0)
+#endif
+
+#if defined(__GNUC__)
+#define PATHCAS_LIKELY(x) __builtin_expect(!!(x), 1)
+#define PATHCAS_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define PATHCAS_LIKELY(x) (x)
+#define PATHCAS_UNLIKELY(x) (x)
+#endif
+
+}  // namespace pathcas

@@ -1,0 +1,113 @@
+// Lock primitives used by the baseline data structures and the HTM emulation:
+//   TatasLock  — test-and-test-and-set spinlock (HTM-emulation global lock,
+//                TLE fallback lock)
+//   TicketLock — FIFO spinlock (the ticket-lock external BST baseline)
+//   SeqLock    — writer-exclusive versioned lock (NOrec's global sequence
+//                lock, OCC-AVL per-node version locks)
+// All satisfy BasicLockable where sensible so std::lock_guard applies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/backoff.hpp"
+#include "util/defs.hpp"
+
+namespace pathcas {
+
+class TatasLock {
+ public:
+  void lock() {
+    Backoff bo;
+    for (;;) {
+      if (!locked_.load(std::memory_order_relaxed) &&
+          !locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      bo.pause();
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool isLocked() const { return locked_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+class TicketLock {
+ public:
+  void lock() {
+    const std::uint32_t ticket =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    while (serving_.load(std::memory_order_acquire) != ticket) cpuRelax();
+  }
+
+  bool try_lock() {
+    std::uint32_t serving = serving_.load(std::memory_order_acquire);
+    std::uint32_t expected = serving;
+    // Only take a ticket when nobody is queued: CAS next from serving.
+    return next_.compare_exchange_strong(expected, serving + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  void unlock() {
+    serving_.store(serving_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint32_t> next_{0};
+  std::atomic<std::uint32_t> serving_{0};
+};
+
+/// Sequence lock: even = unlocked version, odd = write-locked.
+/// Readers: v1 = beginRead(); ...reads...; if (!validateRead(v1)) retry.
+class SeqLock {
+ public:
+  std::uint64_t beginRead() const {
+    std::uint64_t v;
+    while ((v = ver_.load(std::memory_order_acquire)) & 1) cpuRelax();
+    return v;
+  }
+
+  bool validateRead(std::uint64_t v1) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return ver_.load(std::memory_order_acquire) == v1;
+  }
+
+  /// Try to move even version v to the locked state v+1.
+  bool tryLock(std::uint64_t v) {
+    return !(v & 1) && ver_.compare_exchange_strong(
+                           v, v + 1, std::memory_order_acquire,
+                           std::memory_order_relaxed);
+  }
+
+  void lock() {
+    Backoff bo;
+    for (;;) {
+      std::uint64_t v = ver_.load(std::memory_order_relaxed);
+      if (!(v & 1) && tryLock(v)) return;
+      bo.pause();
+    }
+  }
+
+  /// Release, publishing a new version (v+2 from the pre-lock value).
+  void unlock() { ver_.fetch_add(1, std::memory_order_release); }
+
+  std::uint64_t rawVersion() const {
+    return ver_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ver_{0};
+};
+
+}  // namespace pathcas

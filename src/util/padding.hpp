@@ -1,0 +1,40 @@
+// Cache-line padded wrappers to prevent false sharing between per-thread
+// slots of global arrays (descriptor tables, epoch announcements, counters).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/defs.hpp"
+
+namespace pathcas {
+
+/// A value padded out to a full (double) cache line. Used for elements of
+/// per-thread arrays so neighbouring threads never share a line.
+template <typename T>
+struct alignas(kNoFalseSharing) Padded {
+  T value{};
+
+  Padded() = default;
+  template <typename... Args>
+  explicit Padded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+
+ private:
+  static constexpr std::size_t kPad =
+      (sizeof(T) % kNoFalseSharing)
+          ? kNoFalseSharing - (sizeof(T) % kNoFalseSharing)
+          : 0;
+  [[maybe_unused]] char pad_[kPad == 0 ? 1 : kPad];
+};
+
+static_assert(sizeof(Padded<int>) % kNoFalseSharing == 0);
+static_assert(alignof(Padded<int>) == kNoFalseSharing);
+
+}  // namespace pathcas

@@ -1,0 +1,91 @@
+// Fast per-thread pseudo-random number generation for workload drivers and
+// randomized levels (skip list). xoshiro256** seeded via splitmix64, plus a
+// rejection-free bounded-uniform helper and a Zipf generator for skewed keys.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace pathcas {
+
+/// splitmix64: used only for seeding (recommended by the xoshiro authors).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t nextBounded(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Zipf-distributed integers in [1, n] with parameter theta, using the
+/// Gray et al. computation with precomputed constants (fast per-sample).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
+      : n_(n), theta_(theta), rng_(seed) {
+    zetan_ = zeta(n_, theta_);
+    const double zeta2 = zeta(2, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t next() {
+    const double u = rng_.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 1;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+    return 1 + static_cast<std::uint64_t>(
+                   static_cast<double>(n_) *
+                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+  std::uint64_t n_;
+  double theta_, zetan_, alpha_, eta_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace pathcas

@@ -1,0 +1,43 @@
+#include "util/thread_registry.hpp"
+
+namespace pathcas {
+namespace {
+thread_local int tlsTid = -1;
+}  // namespace
+
+ThreadRegistry& ThreadRegistry::instance() {
+  static ThreadRegistry registry;
+  return registry;
+}
+
+int ThreadRegistry::registerThread() {
+  if (tlsTid >= 0) return tlsTid;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (used_[i]->compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
+      tlsTid = i;
+      // Grow the scan bound monotonically.
+      int cur = maxTid_.load(std::memory_order_relaxed);
+      while (cur < i + 1 && !maxTid_.compare_exchange_weak(
+                                cur, i + 1, std::memory_order_acq_rel)) {
+      }
+      return i;
+    }
+  }
+  PATHCAS_CHECK(!"thread registry exhausted (kMaxThreads)");
+  return -1;
+}
+
+void ThreadRegistry::deregisterThread() {
+  if (tlsTid < 0) return;
+  used_[tlsTid]->store(false, std::memory_order_release);
+  tlsTid = -1;
+}
+
+int ThreadRegistry::tid() {
+  if (PATHCAS_UNLIKELY(tlsTid < 0)) instance().registerThread();
+  return tlsTid;
+}
+
+}  // namespace pathcas

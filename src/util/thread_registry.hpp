@@ -1,0 +1,54 @@
+// Thread registry: assigns each participating thread a small dense id in
+// [0, kMaxThreads). Per-thread descriptor tables (KCAS, DCSS, PathCAS) and
+// epoch announcement slots are indexed by this id. Registration is RAII and
+// ids are recycled when a thread deregisters, so short-lived benchmark/test
+// threads do not exhaust the table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/defs.hpp"
+#include "util/padding.hpp"
+
+namespace pathcas {
+
+class ThreadRegistry {
+ public:
+  static ThreadRegistry& instance();
+
+  /// Register the calling thread if needed; returns its dense id.
+  int registerThread();
+
+  /// Release the calling thread's id (called by ThreadGuard destructor).
+  void deregisterThread();
+
+  /// Id of the calling thread; registers lazily on first use.
+  static int tid();
+
+  /// Upper bound (exclusive) on ids ever handed out; iterate [0, maxTid())
+  /// when scanning announcement arrays.
+  int maxTid() const { return maxTid_.load(std::memory_order_acquire); }
+
+ private:
+  ThreadRegistry() = default;
+  Padded<std::atomic<bool>> used_[kMaxThreads];
+  std::atomic<int> maxTid_{0};
+};
+
+/// Optional RAII helper: deregisters on scope exit. Benchmark worker threads
+/// hold one so ids recycle between trials. Threads that never explicitly
+/// create one keep their id for process lifetime (safe, just not recycled).
+class ThreadGuard {
+ public:
+  ThreadGuard() : tid_(ThreadRegistry::instance().registerThread()) {}
+  ~ThreadGuard() { ThreadRegistry::instance().deregisterThread(); }
+  ThreadGuard(const ThreadGuard&) = delete;
+  ThreadGuard& operator=(const ThreadGuard&) = delete;
+  int tid() const { return tid_; }
+
+ private:
+  int tid_;
+};
+
+}  // namespace pathcas

@@ -1,0 +1,43 @@
+// Timing utilities: wall-clock timers for trial durations and rdtsc cycle
+// counting for the per-operation factor analysis (Fig. 5 / Figs. 26-27).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace pathcas {
+
+/// Serialized-enough cycle counter for per-op averages (not for ns precision).
+inline std::uint64_t rdtsc() {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+class StopWatch {
+ public:
+  StopWatch() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  std::uint64_t elapsedMillis() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(clock::now() -
+                                                              start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace pathcas

@@ -1,0 +1,121 @@
+// Tests for the relaxed (a,b)-tree built with PathCAS: leaf splits,
+// copy-on-write updates, oracle semantics and concurrent keysum stress.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "structs/abtree_pathcas.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::ds {
+namespace {
+
+using AbTree = AbTreePathCas<std::int64_t, std::int64_t, 8>;
+
+TEST(AbTree, EmptyTree) {
+  AbTree t;
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(AbTree, FillOneLeafThenSplit) {
+  AbTree t;
+  for (std::int64_t k = 0; k < 8; ++k) EXPECT_TRUE(t.insert(k, k * 10));
+  EXPECT_EQ(t.size(), 8u);   // exactly one full leaf
+  EXPECT_TRUE(t.insert(8, 80));  // forces the blind split
+  EXPECT_EQ(t.size(), 9u);
+  for (std::int64_t k = 0; k <= 8; ++k) {
+    EXPECT_TRUE(t.contains(k));
+    EXPECT_EQ(t.get(k).value(), k * 10);
+  }
+  t.checkInvariants();
+}
+
+TEST(AbTree, ManySplitsKeepOrder) {
+  AbTree t;
+  for (std::int64_t k = 0; k < 2000; ++k) ASSERT_TRUE(t.insert(k, k));
+  EXPECT_EQ(t.size(), 2000u);
+  t.checkInvariants();
+  for (std::int64_t k = 1999; k >= 0; --k) ASSERT_TRUE(t.contains(k));
+}
+
+TEST(AbTree, RandomOpsMatchOracle) {
+  AbTree t;
+  std::set<std::int64_t> oracle;
+  Xoshiro256 rng(4242);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.nextBounded(500));
+    switch (rng.nextBounded(3)) {
+      case 0:
+        ASSERT_EQ(t.insert(k, k), oracle.insert(k).second) << i;
+        break;
+      case 1:
+        ASSERT_EQ(t.erase(k), oracle.erase(k) > 0) << i;
+        break;
+      default:
+        ASSERT_EQ(t.contains(k), oracle.count(k) > 0) << i;
+    }
+  }
+  EXPECT_EQ(t.size(), oracle.size());
+  std::int64_t sum = 0;
+  for (auto k : oracle) sum += k;
+  EXPECT_EQ(t.keySum(), sum);
+  t.checkInvariants();
+}
+
+struct AbStressParams {
+  int threads;
+  int ops;
+  std::int64_t range;
+};
+
+class AbTreeStress : public ::testing::TestWithParam<AbStressParams> {};
+
+TEST_P(AbTreeStress, ConcurrentKeysumInvariant) {
+  const auto p = GetParam();
+  AbTree t;
+  std::vector<std::thread> workers;
+  std::vector<std::int64_t> deltas(p.threads, 0);
+  for (int w = 0; w < p.threads; ++w) {
+    workers.emplace_back([&, w] {
+      ThreadGuard tg;
+      Xoshiro256 rng(777 + w);
+      std::int64_t d = 0;
+      for (int i = 0; i < p.ops; ++i) {
+        const auto k = static_cast<std::int64_t>(rng.nextBounded(p.range));
+        switch (rng.nextBounded(4)) {
+          case 0:
+            if (t.insert(k, k)) d += k;
+            break;
+          case 1:
+            if (t.erase(k)) d -= k;
+            break;
+          default:
+            (void)t.contains(k);
+        }
+      }
+      deltas[w] = d;
+    });
+  }
+  for (auto& th : workers) th.join();
+  std::int64_t expected = 0;
+  for (auto d : deltas) expected += d;
+  EXPECT_EQ(t.keySum(), expected);
+  t.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AbTreeStress,
+                         ::testing::Values(AbStressParams{2, 6000, 64},
+                                           AbStressParams{4, 3000, 512},
+                                           AbStressParams{8, 1500, 4096}),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param.threads) +
+                                  "_k" + std::to_string(info.param.range);
+                         });
+
+}  // namespace
+}  // namespace pathcas::ds

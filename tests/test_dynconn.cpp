@@ -1,0 +1,220 @@
+// Tests for appendix H: dynamic connectivity on forests via Euler-tour
+// lists. Oracle = union-find rebuilt from the live edge set (cut requires a
+// full recompute, so the oracle maintains the edge list and recomputes).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "structs/dynconn_pathcas.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::ds {
+namespace {
+
+/// Simple recompute-from-scratch oracle for forests.
+class ForestOracle {
+ public:
+  explicit ForestOracle(int n) : n_(n) {}
+  bool connected(int v, int w) {
+    const auto r = roots();
+    return r[static_cast<std::size_t>(v)] == r[static_cast<std::size_t>(w)];
+  }
+  bool link(int v, int w) {
+    if (connected(v, w)) return false;
+    edges_.insert(key(v, w));
+    return true;
+  }
+  bool cut(int v, int w) { return edges_.erase(key(v, w)) > 0; }
+
+ private:
+  static std::pair<int, int> key(int v, int w) {
+    return {std::min(v, w), std::max(v, w)};
+  }
+  std::vector<int> roots() const {
+    std::vector<int> parent(static_cast<std::size_t>(n_));
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](int x) {
+      while (parent[static_cast<std::size_t>(x)] != x)
+        x = parent[static_cast<std::size_t>(x)];
+      return x;
+    };
+    for (const auto& [a, b] : edges_) {
+      const int ra = find(a), rb = find(b);
+      if (ra != rb) parent[static_cast<std::size_t>(ra)] = rb;
+    }
+    for (int i = 0; i < n_; ++i)
+      parent[static_cast<std::size_t>(i)] =
+          find(parent[static_cast<std::size_t>(i)]);
+    return parent;
+  }
+  int n_;
+  std::set<std::pair<int, int>> edges_;
+};
+
+TEST(DynConn, SingletonsDisconnected) {
+  DynConnPathCas g(4);
+  EXPECT_TRUE(g.connected(0, 0));
+  EXPECT_FALSE(g.connected(0, 1));
+  EXPECT_FALSE(g.cut(0, 1));
+  g.checkInvariants();
+}
+
+TEST(DynConn, LinkConnectsAndCutDisconnects) {
+  DynConnPathCas g(4);
+  EXPECT_TRUE(g.link(0, 1));
+  EXPECT_TRUE(g.connected(0, 1));
+  EXPECT_FALSE(g.link(0, 1));  // already connected
+  g.checkInvariants();
+  EXPECT_TRUE(g.link(1, 2));
+  EXPECT_TRUE(g.connected(0, 2));  // transitive
+  EXPECT_FALSE(g.connected(0, 3));
+  g.checkInvariants();
+  EXPECT_TRUE(g.cut(0, 1));
+  EXPECT_FALSE(g.connected(0, 2));
+  EXPECT_TRUE(g.connected(1, 2));
+  g.checkInvariants();
+  EXPECT_FALSE(g.cut(0, 1));  // already gone
+}
+
+TEST(DynConn, CycleCreationRejected) {
+  DynConnPathCas g(3);
+  EXPECT_TRUE(g.link(0, 1));
+  EXPECT_TRUE(g.link(1, 2));
+  EXPECT_FALSE(g.link(0, 2));  // would close a cycle
+  g.checkInvariants();
+}
+
+TEST(DynConn, ChainBuildAndTearDown) {
+  constexpr int kN = 24;
+  DynConnPathCas g(kN);
+  for (int i = 0; i + 1 < kN; ++i) ASSERT_TRUE(g.link(i, i + 1));
+  EXPECT_TRUE(g.connected(0, kN - 1));
+  g.checkInvariants();
+  // Cut in the middle: two halves.
+  ASSERT_TRUE(g.cut(kN / 2 - 1, kN / 2));
+  EXPECT_FALSE(g.connected(0, kN - 1));
+  EXPECT_TRUE(g.connected(0, kN / 2 - 1));
+  EXPECT_TRUE(g.connected(kN / 2, kN - 1));
+  g.checkInvariants();
+  // Tear down everything.
+  for (int i = 0; i + 1 < kN; ++i) {
+    if (i != kN / 2 - 1) ASSERT_TRUE(g.cut(i, i + 1));
+  }
+  for (int i = 1; i < kN; ++i) EXPECT_FALSE(g.connected(0, i));
+  g.checkInvariants();
+}
+
+TEST(DynConn, StarGraph) {
+  constexpr int kN = 16;
+  DynConnPathCas g(kN);
+  for (int i = 1; i < kN; ++i) ASSERT_TRUE(g.link(0, i));
+  for (int i = 1; i < kN; ++i)
+    for (int j = 1; j < kN; ++j) EXPECT_TRUE(g.connected(i, j));
+  g.checkInvariants();
+  ASSERT_TRUE(g.cut(0, 5));
+  EXPECT_FALSE(g.connected(5, 7));
+  EXPECT_TRUE(g.connected(3, 7));
+  g.checkInvariants();
+}
+
+TEST(DynConn, RandomOpsMatchOracle) {
+  constexpr int kN = 12;
+  DynConnPathCas g(kN);
+  ForestOracle oracle(kN);
+  Xoshiro256 rng(2025);
+  for (int i = 0; i < 4000; ++i) {
+    const int v = static_cast<int>(rng.nextBounded(kN));
+    int w = static_cast<int>(rng.nextBounded(kN));
+    if (w == v) w = (w + 1) % kN;
+    switch (rng.nextBounded(3)) {
+      case 0:
+        ASSERT_EQ(g.link(v, w), oracle.link(v, w)) << "op " << i;
+        break;
+      case 1:
+        ASSERT_EQ(g.cut(v, w), oracle.cut(v, w)) << "op " << i;
+        break;
+      default:
+        ASSERT_EQ(g.connected(v, w), oracle.connected(v, w)) << "op " << i;
+    }
+  }
+  g.checkInvariants();
+}
+
+// Concurrent smoke: threads work on disjoint vertex blocks so every op's
+// oracle outcome is deterministic per thread.
+TEST(DynConn, ConcurrentDisjointBlocks) {
+  constexpr int kThreads = 4, kPerBlock = 8;
+  DynConnPathCas g(kThreads * kPerBlock);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      const int base = t * kPerBlock;
+      ForestOracle oracle(kPerBlock);
+      Xoshiro256 rng(77 + t);
+      for (int i = 0; i < 1500; ++i) {
+        const int v = static_cast<int>(rng.nextBounded(kPerBlock));
+        int w = static_cast<int>(rng.nextBounded(kPerBlock));
+        if (w == v) w = (w + 1) % kPerBlock;
+        switch (rng.nextBounded(3)) {
+          case 0:
+            ASSERT_EQ(g.link(base + v, base + w), oracle.link(v, w));
+            break;
+          case 1:
+            ASSERT_EQ(g.cut(base + v, base + w), oracle.cut(v, w));
+            break;
+          default:
+            ASSERT_EQ(g.connected(base + v, base + w), oracle.connected(v, w));
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  g.checkInvariants();
+}
+
+// Concurrent shared-component stress: all threads link/cut within one vertex
+// universe; outcomes are nondeterministic, so we only assert internal
+// consistency (no crashes, invariants hold at quiescence, connected() is
+// symmetric at quiescence).
+TEST(DynConn, ConcurrentSharedUniverseStaysConsistent) {
+  constexpr int kN = 10, kThreads = 4;
+  DynConnPathCas g(kN);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(5 + t);
+      for (int i = 0; i < 800; ++i) {
+        const int v = static_cast<int>(rng.nextBounded(kN));
+        int w = static_cast<int>(rng.nextBounded(kN));
+        if (w == v) w = (w + 1) % kN;
+        switch (rng.nextBounded(3)) {
+          case 0:
+            g.link(v, w);
+            break;
+          case 1:
+            g.cut(v, w);
+            break;
+          default:
+            (void)g.connected(v, w);
+        }
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  g.checkInvariants();
+  for (int v = 0; v < kN; ++v) {
+    for (int w = v + 1; w < kN; ++w) {
+      EXPECT_EQ(g.connected(v, w), g.connected(w, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pathcas::ds

@@ -1,0 +1,253 @@
+// Tests for the extension structures built with PathCAS (the paper's
+// conclusion list): sorted list, hash table, skip list, stack and queue.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "structs/hash_pathcas.hpp"
+#include "structs/list_pathcas.hpp"
+#include "structs/skiplist_pathcas.hpp"
+#include "structs/stack_queue_pathcas.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::ds {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sorted list / hash map / skip list share set semantics: run them through
+// one typed suite plus structure-specific checks.
+// ---------------------------------------------------------------------------
+
+template <typename S>
+class PcSetTest : public ::testing::Test {};
+
+struct ListTag {
+  using Set = ListPathCas<>;
+  static Set make() { return Set{}; }
+};
+
+using PcSets = ::testing::Types<ListPathCas<std::int64_t, std::int64_t>,
+                                HashMapPathCas<std::int64_t, std::int64_t>,
+                                SkipListPathCas<std::int64_t, std::int64_t>>;
+
+class PcSetNames {
+ public:
+  template <typename T>
+  static std::string GetName(int i) {
+    return i == 0 ? "list" : (i == 1 ? "hash" : "skiplist");
+  }
+};
+
+TYPED_TEST_SUITE(PcSetTest, PcSets, PcSetNames);
+
+TYPED_TEST(PcSetTest, Lifecycle) {
+  TypeParam s;
+  EXPECT_FALSE(s.contains(7));
+  EXPECT_TRUE(s.insert(7, 70));
+  EXPECT_FALSE(s.insert(7, 71));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_EQ(s.get(7).value(), 70);
+  EXPECT_TRUE(s.erase(7));
+  EXPECT_FALSE(s.erase(7));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TYPED_TEST(PcSetTest, OracleRandomOps) {
+  TypeParam s;
+  std::set<std::int64_t> oracle;
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 8000; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.nextBounded(150));
+    switch (rng.nextBounded(3)) {
+      case 0:
+        ASSERT_EQ(s.insert(k, k), oracle.insert(k).second);
+        break;
+      case 1:
+        ASSERT_EQ(s.erase(k), oracle.erase(k) > 0);
+        break;
+      default:
+        ASSERT_EQ(s.contains(k), oracle.count(k) > 0);
+    }
+  }
+  EXPECT_EQ(s.size(), oracle.size());
+  std::int64_t sum = 0;
+  for (auto k : oracle) sum += k;
+  EXPECT_EQ(s.keySum(), sum);
+}
+
+TYPED_TEST(PcSetTest, ConcurrentKeysum) {
+  TypeParam s;
+  constexpr int kThreads = 4, kOps = 2000;
+  constexpr std::int64_t kRange = 96;
+  std::vector<std::thread> workers;
+  std::vector<std::int64_t> deltas(kThreads, 0);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      ThreadGuard tg;
+      Xoshiro256 rng(50 + w);
+      std::int64_t d = 0;
+      for (int i = 0; i < kOps; ++i) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng.nextBounded(kRange));
+        switch (rng.nextBounded(4)) {
+          case 0:
+            if (s.insert(k, k)) d += k;
+            break;
+          case 1:
+            if (s.erase(k)) d -= k;
+            break;
+          default:
+            (void)s.contains(k);
+        }
+      }
+      deltas[w] = d;
+    });
+  }
+  for (auto& th : workers) th.join();
+  std::int64_t expected = 0;
+  for (auto d : deltas) expected += d;
+  EXPECT_EQ(s.keySum(), expected);
+}
+
+TEST(SkipList, TowersLinkAtomically) {
+  SkipListPathCas<> s;
+  for (std::int64_t k = 0; k < 512; ++k) ASSERT_TRUE(s.insert(k, k));
+  s.checkInvariants();
+  for (std::int64_t k = 0; k < 512; k += 2) ASSERT_TRUE(s.erase(k));
+  s.checkInvariants();
+  EXPECT_EQ(s.size(), 256u);
+}
+
+TEST(HashMap, SpreadsAcrossBuckets) {
+  HashMapPathCas<> h(64);
+  for (std::int64_t k = 0; k < 2048; ++k) ASSERT_TRUE(h.insert(k, k));
+  EXPECT_EQ(h.size(), 2048u);
+  for (std::int64_t k = 0; k < 2048; ++k) ASSERT_TRUE(h.contains(k));
+  for (std::int64_t k = 0; k < 2048; k += 3) ASSERT_TRUE(h.erase(k));
+  EXPECT_EQ(h.size(), 2048u - (2048 + 2) / 3);
+}
+
+// ---------------------------------------------------------------------------
+// Stack.
+// ---------------------------------------------------------------------------
+
+TEST(Stack, LifoOrderSingleThread) {
+  StackPathCas<> s;
+  EXPECT_FALSE(s.pop().has_value());
+  for (std::int64_t i = 0; i < 100; ++i) s.push(i);
+  EXPECT_EQ(s.size(), 100u);
+  for (std::int64_t i = 99; i >= 0; --i) EXPECT_EQ(s.pop().value(), i);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Stack, ConcurrentPushPopConservesElements) {
+  StackPathCas<> s;
+  constexpr int kThreads = 4, kPerThread = 3000;
+  std::atomic<std::int64_t> poppedSum{0};
+  std::atomic<std::uint64_t> poppedCount{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      ThreadGuard tg;
+      Xoshiro256 rng(7 + w);
+      for (int i = 0; i < kPerThread; ++i) {
+        if (rng.nextBounded(2)) {
+          s.push(static_cast<std::int64_t>(w * kPerThread + i));
+        } else if (auto v = s.pop()) {
+          poppedSum.fetch_add(*v, std::memory_order_relaxed);
+          poppedCount.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Track pushes to verify conservation.
+  for (auto& th : workers) th.join();
+  std::int64_t remainingSum = 0;
+  std::uint64_t remaining = 0;
+  while (auto v = s.pop()) {
+    remainingSum += *v;
+    ++remaining;
+  }
+  // Every pushed value is either popped or remaining; compute pushed sums.
+  std::int64_t pushedSum = 0;
+  std::uint64_t pushed = 0;
+  // Re-derive from the deterministic RNG streams.
+  for (int w = 0; w < kThreads; ++w) {
+    Xoshiro256 rng(7 + w);
+    for (int i = 0; i < kPerThread; ++i) {
+      // One nextBounded per worker iteration in both branches, so the
+      // replayed stream aligns with the worker's exactly.
+      if (rng.nextBounded(2)) {
+        pushedSum += static_cast<std::int64_t>(w * kPerThread + i);
+        ++pushed;
+      }
+    }
+  }
+  EXPECT_EQ(poppedCount.load() + remaining, pushed);
+  EXPECT_EQ(poppedSum.load() + remainingSum, pushedSum);
+}
+
+// ---------------------------------------------------------------------------
+// Queue.
+// ---------------------------------------------------------------------------
+
+TEST(Queue, FifoOrderSingleThread) {
+  QueuePathCas<> q;
+  EXPECT_FALSE(q.dequeue().has_value());
+  for (std::int64_t i = 0; i < 100; ++i) q.enqueue(i);
+  EXPECT_EQ(q.size(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(q.dequeue().value(), i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Queue, PerProducerOrderPreserved) {
+  // MPMC: each producer enqueues an increasing sequence tagged with its id;
+  // consumers must observe each producer's values in order.
+  QueuePathCas<> q;
+  constexpr int kProducers = 2, kConsumers = 2, kPerProducer = 4000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  std::vector<std::vector<std::int64_t>> consumed(kConsumers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      ThreadGuard tg;
+      for (std::int64_t i = 0; i < kPerProducer; ++i) {
+        q.enqueue((static_cast<std::int64_t>(p) << 32) | i);
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&, c] {
+      ThreadGuard tg;
+      while (!done.load(std::memory_order_acquire) || !q.empty()) {
+        if (auto v = q.dequeue()) consumed[c].push_back(*v);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  done.store(true, std::memory_order_release);
+  for (int c = 0; c < kConsumers; ++c) threads[kProducers + c].join();
+
+  std::uint64_t total = 0;
+  std::vector<std::int64_t> lastSeen[kConsumers];
+  for (int c = 0; c < kConsumers; ++c) {
+    total += consumed[c].size();
+    std::int64_t last[kProducers];
+    std::fill(last, last + kProducers, -1);
+    for (auto v : consumed[c]) {
+      const int p = static_cast<int>(v >> 32);
+      const std::int64_t seq = v & 0xffffffff;
+      EXPECT_GT(seq, last[p]) << "per-producer FIFO violated";
+      last[p] = seq;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
+}  // namespace
+}  // namespace pathcas::ds

@@ -1,0 +1,207 @@
+// Unit tests for the utility substrate: PRNG quality basics, padding
+// geometry, lock mutual exclusion, thread-registry id management.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/backoff.hpp"
+#include "util/locks.hpp"
+#include "util/padding.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+#include "util/timing.hpp"
+
+namespace pathcas {
+namespace {
+
+TEST(Rand, SplitmixDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Rand, XoshiroDistinctSeedsDistinctStreams) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rand, BoundedStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.nextBounded(bound), bound);
+  }
+}
+
+TEST(Rand, BoundedRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 8, kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.nextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kSamples / kBuckets * 0.9);
+    EXPECT_LT(c, kSamples / kBuckets * 1.1);
+  }
+}
+
+TEST(Rand, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.nextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rand, ZipfSkewsTowardSmallValues) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  int small = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const auto v = zipf.next();
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 1000u);
+    small += (v <= 10);
+  }
+  // With theta=0.99 the top-10 of 1000 keys absorb a large share.
+  EXPECT_GT(small, total / 4);
+}
+
+TEST(Padding, GeometryIsPaddedAndAligned) {
+  EXPECT_EQ(sizeof(Padded<char>) % kNoFalseSharing, 0u);
+  EXPECT_EQ(sizeof(Padded<std::uint64_t[40]>) % kNoFalseSharing, 0u);
+  Padded<int> arr[4];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&arr[i]) % kNoFalseSharing, 0u);
+  }
+}
+
+template <typename Lock>
+void mutualExclusionTest() {
+  Lock lock;
+  std::int64_t counter = 0;
+  constexpr int kThreads = 4, kIters = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        lock.lock();
+        ++counter;  // data race iff the lock is broken
+        lock.unlock();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+TEST(Locks, TatasMutualExclusion) { mutualExclusionTest<TatasLock>(); }
+TEST(Locks, TicketMutualExclusion) { mutualExclusionTest<TicketLock>(); }
+TEST(Locks, SeqLockMutualExclusion) { mutualExclusionTest<SeqLock>(); }
+
+TEST(Locks, TatasTryLock) {
+  TatasLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_TRUE(lock.isLocked());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Locks, SeqLockReadersSeeConsistentPairs) {
+  SeqLock lock;
+  std::uint64_t a = 0, b = 0;  // invariant under the lock: a == b
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (std::uint64_t i = 1; !stop.load(); ++i) {
+      lock.lock();
+      a = i;
+      b = i;
+      lock.unlock();
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t v1, ra, rb;
+    do {
+      v1 = lock.beginRead();
+      ra = a;
+      rb = b;
+    } while (!lock.validateRead(v1));
+    ASSERT_EQ(ra, rb);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(Locks, SeqLockVersionAdvancesByTwoPerCriticalSection) {
+  SeqLock lock;
+  const auto v0 = lock.rawVersion();
+  lock.lock();
+  EXPECT_EQ(lock.rawVersion(), v0 + 1);
+  lock.unlock();
+  EXPECT_EQ(lock.rawVersion(), v0 + 2);
+}
+
+TEST(ThreadRegistry, IdsAreDenseAndRecycled) {
+  std::set<int> seen;
+  std::mutex mu;
+  {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 8; ++i) {
+      ts.emplace_back([&] {
+        ThreadGuard guard;
+        std::lock_guard<std::mutex> g(mu);
+        seen.insert(guard.tid());
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+  for (int id : seen) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, kMaxThreads);
+  }
+  // After deregistration the same small pool of ids is reused.
+  std::set<int> seen2;
+  {
+    std::vector<std::thread> ts;
+    for (int i = 0; i < 8; ++i) {
+      ts.emplace_back([&] {
+        ThreadGuard guard;
+        std::lock_guard<std::mutex> g(mu);
+        seen2.insert(guard.tid());
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+  EXPECT_LE(*std::max_element(seen2.begin(), seen2.end()),
+            *std::max_element(seen.begin(), seen.end()) + 8);
+}
+
+TEST(ThreadRegistry, TidStableWithinThread) {
+  const int a = ThreadRegistry::tid();
+  const int b = ThreadRegistry::tid();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Timing, StopWatchMonotone) {
+  StopWatch sw;
+  const double t1 = sw.elapsedSeconds();
+  const double t2 = sw.elapsedSeconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GE(t1, 0.0);
+}
+
+TEST(Backoff, PauseTerminates) {
+  Backoff bo(1, 16);
+  for (int i = 0; i < 10; ++i) bo.pause();
+  bo.reset();
+  bo.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace pathcas
