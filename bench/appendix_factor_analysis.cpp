@@ -1,7 +1,8 @@
 // Appendix figures 26/27: factor analysis — throughput, cycles/op, page
 // faults/op and average key depth for the unbalanced and balanced trees at
 // {1%, 10%, 100%} updates. Hardware cache-miss counters are substituted by
-// the structural drivers (avg key depth, footprint) per DESIGN.md §1.
+// the structural drivers (avg key depth, footprint) per the deviations
+// section of PAPER.md.
 #include <sys/resource.h>
 
 #include <cstdio>

@@ -1,9 +1,16 @@
 // Shared plumbing for the figure-reproduction benches: thread sweeps over an
 // adapter type, EBR drain between cells, and CSV emission alongside the
-// human-readable rows (EXPERIMENTS.md records the CSV).
+// human-readable rows.
+//
+// Knobs (see README.md "Benchmark knobs"):
+//   PATHCAS_BENCH_THREADS  comma-separated thread counts for the sweep
+//                          (default "1,2,4,8"; each must be in [1, 256])
+//   PATHCAS_BENCH_SCALE    "quick" (default) or "full" for paper-scale key
+//                          ranges and durations (driver.hpp)
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,7 +21,40 @@
 
 namespace pathcas::bench {
 
-inline std::vector<int> defaultThreads() { return {1, 2, 4, 8}; }
+/// Thread counts for each sweep: PATHCAS_BENCH_THREADS ("4" or "1,2,4,8,16")
+/// when set and well-formed, else {1, 2, 4, 8}.
+inline std::vector<int> defaultThreads() {
+  if (const char* s = std::getenv("PATHCAS_BENCH_THREADS")) {
+    std::vector<int> out;
+    int cur = 0;
+    bool haveDigit = false, ok = true;
+    for (const char* p = s;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        cur = cur * 10 + (*p - '0');
+        haveDigit = true;
+        if (cur > kMaxThreads) {
+          ok = false;
+          cur = kMaxThreads + 1;  // clamp: further digits must not overflow
+        }
+      } else if (*p == ',' || *p == '\0') {
+        if (!haveDigit || cur < 1) ok = false;
+        out.push_back(cur);
+        cur = 0;
+        haveDigit = false;
+        if (*p == '\0') break;
+      } else {
+        ok = false;
+        break;
+      }
+    }
+    if (ok && !out.empty()) return out;
+    std::fprintf(stderr,
+                 "ignoring malformed PATHCAS_BENCH_THREADS=\"%s\" "
+                 "(want e.g. \"1,2,4,8\", counts in [1, %d])\n",
+                 s, kMaxThreads);
+  }
+  return {1, 2, 4, 8};
+}
 
 /// Run `Adapter` across thread counts; prints a row and a CSV block line per
 /// cell. Returns Mops per thread count.

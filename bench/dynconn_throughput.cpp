@@ -1,6 +1,6 @@
 // Appendix H: dynamic connectivity throughput. Random link/cut/connected
 // mixes over a forest of small components (component sizes are bounded by
-// the PathCAS read-set budget; see DESIGN.md). No paper figure gives
+// the PathCAS read-set budget; see docs/ARCHITECTURE.md). No paper figure gives
 // absolute numbers for this structure — the appendix claims lock-freedom
 // and correctness; this bench demonstrates it scales with mostly-read mixes.
 #include <atomic>

@@ -1,7 +1,8 @@
 // Microbenchmarks (google-benchmark) for the primitives themselves: casword
 // read overhead vs a plain atomic load, KCAS cost as a function of width,
 // visit+validate cost as a function of path length, and EBR pin cost. Not a
-// paper figure; establishes the engineering baselines DESIGN.md references.
+// paper figure; establishes the engineering baselines the architecture
+// notes (docs/ARCHITECTURE.md) reference.
 #include <benchmark/benchmark.h>
 
 #include "pathcas/pathcas.hpp"

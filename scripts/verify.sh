@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# One-shot tier-1 verification: configure + build + test.
+# Mirrors the command recorded in ROADMAP.md:
+#   cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j
+#
+# Usage: scripts/verify.sh [extra cmake args...]
+#   e.g. scripts/verify.sh -DPATHCAS_ENABLE_RTM=ON
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B build -S . "$@"
+cmake --build build -j "$JOBS"
+cd build && ctest --output-on-failure -j "$JOBS"

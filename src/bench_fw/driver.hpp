@@ -91,6 +91,12 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   std::atomic<bool> go{false}, stop{false};
   std::atomic<int> ready{0};
 
+  // Release the registry slot the calling thread lazily acquired during
+  // prefill, so a kMaxThreads-wide sweep can register every worker. The
+  // caller re-registers automatically on its next structure access (the
+  // keysum validation below), after the workers have deregistered.
+  ThreadRegistry::instance().deregisterThread();
+
   const std::uint64_t insertCut =
       static_cast<std::uint64_t>(cfg.insertFrac * 1e9);
   const std::uint64_t deleteCut =
@@ -163,7 +169,7 @@ TrialResult runCell(MakeSet&& makeSet, const TrialConfig& cfg) {
 
 // ---------------------------------------------------------------------------
 // Output helpers: the benches print paper-style rows plus a CSV block that
-// EXPERIMENTS.md references.
+// experiment logs can be grepped from (`grep '^csv,'`).
 // ---------------------------------------------------------------------------
 
 inline void printHeader(const std::string& title,

@@ -2,10 +2,13 @@
 //
 // Two backends:
 //  * RTM (compile with -DPATHCAS_ENABLE_RTM=ON): Intel TSX _xbegin/_xend.
+//    Checked at runtime too (rtmAvailable): on a host without the RTM
+//    feature bit the same binary silently uses the emulation instead.
 //  * Emulated (default, and the only option on this reproduction's hardware):
 //    a single global test-and-test-and-set lock provides transaction
 //    atomicity, with optional randomized abort injection so fallback paths
-//    are exercised. See DESIGN.md §1 for why the emulation composes safely
+//    are exercised. See docs/ARCHITECTURE.md ("HTM emulation") for why the
+//    emulation composes safely
 //    with the lock-free software path: every fast-path transaction AND every
 //    software fallback of a fast-path-enabled structure serializes on
 //    globalLock(), while readers/helpers remain lock-free.
@@ -20,6 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+
+#if defined(PATHCAS_HAVE_RTM)
+#include <immintrin.h>  // _xbegin/_xend/_xabort; requires -mrtm (set by CMake)
+#endif
 
 #include "util/defs.hpp"
 #include "util/locks.hpp"
@@ -50,10 +57,46 @@ struct TxAbortException {
   Abort code;
 };
 
+#if defined(PATHCAS_HAVE_RTM)
+/// Runtime TSX detection: an RTM-enabled build still degrades to the
+/// emulation on hosts whose CPU lacks the feature bit (executing _xbegin
+/// there would be an illegal instruction, not an abort).
+inline bool rtmAvailable() {
+  static const bool available = __builtin_cpu_supports("rtm");
+  return available;
+}
+
+namespace detail {
+/// _xabort demands an 8-bit immediate, so the runtime code is dispatched to
+/// a constant per enumerator. Inside a transaction this does not return
+/// (control resumes at _xbegin with the explicit code); outside one XABORT
+/// is an architectural no-op and the caller must still unwind.
+inline void xabortWith(Abort code) {
+  switch (code) {
+    case Abort::kOld: _xabort(1); break;
+    case Abort::kDescriptor: _xabort(2); break;
+    case Abort::kLockHeld: _xabort(3); break;
+    case Abort::kConflict: _xabort(4); break;
+    case Abort::kCapacity: _xabort(5); break;
+    case Abort::kNone: _xabort(0xff); break;  // tx.abort(kNone): caller bug
+  }
+}
+}  // namespace detail
+#endif
+
 class Tx {
  public:
   /// Abort the transaction with an explicit code. Does not return.
-  [[noreturn]] void abort(Abort code) { throw TxAbortException{code}; }
+  /// Under RTM the abort must be the XABORT instruction itself — throwing
+  /// inside a hardware transaction would abort it as a plain conflict (the
+  /// unwinder allocates) and lose the code. Under emulation (or outside a
+  /// transaction) the exception performs the rollback.
+  [[noreturn]] void abort(Abort code) {
+#if defined(PATHCAS_HAVE_RTM)
+    if (rtmAvailable()) detail::xabortWith(code);
+#endif
+    throw TxAbortException{code};
+  }
 };
 
 namespace detail {
@@ -72,29 +115,38 @@ TatasLock& globalLock();
 /// inline without std::function overhead.
 template <typename Body>
 Abort run(Body&& body) {
-#if defined(PATHCAS_HAVE_RTM)
-  const unsigned status = _xbegin();
-  if (status == _XBEGIN_STARTED) {
-    Tx tx;
-    try {
-      body(tx);
-    } catch (const TxAbortException& e) {
-      _xabort(static_cast<unsigned>(e.code));
-    }
-    _xend();
-    detail::recordCommit();
-    return Abort::kNone;
-  }
-  Abort code = Abort::kConflict;
-  if (status & _XABORT_CAPACITY) code = Abort::kCapacity;
-  if (status & _XABORT_EXPLICIT) code = static_cast<Abort>(_XABORT_CODE(status));
-  detail::recordAbort(code);
-  return code;
-#else
+  // Abort injection applies to both backends so fallback paths stay
+  // exercisable in tests regardless of the hardware.
   if (detail::injectAbort()) {
     detail::recordAbort(Abort::kConflict);
     return Abort::kConflict;
   }
+#if defined(PATHCAS_HAVE_RTM)
+  if (PATHCAS_LIKELY(rtmAvailable())) {
+    const unsigned status = _xbegin();
+    if (status == _XBEGIN_STARTED) {
+      Tx tx;
+      try {
+        body(tx);
+      } catch (const TxAbortException& e) {
+        detail::xabortWith(e.code);
+      }
+      _xend();
+      detail::recordCommit();
+      return Abort::kNone;
+    }
+    Abort code = Abort::kConflict;
+    if (status & _XABORT_CAPACITY) code = Abort::kCapacity;
+    if (status & _XABORT_EXPLICIT) {
+      // Clamp unknown explicit codes (e.g. xabortWith's 0xff backstop, or a
+      // foreign XABORT) to kConflict: recordAbort indexes a 6-entry array.
+      const unsigned c = _XABORT_CODE(status);
+      code = (c >= 1 && c <= 5) ? static_cast<Abort>(c) : Abort::kConflict;
+    }
+    detail::recordAbort(code);
+    return code;
+  }
+#endif
   TatasLock& lock = globalLock();
   lock.lock();
   Tx tx;
@@ -111,7 +163,6 @@ Abort run(Body&& body) {
   lock.unlock();
   detail::recordCommit();
   return Abort::kNone;
-#endif
 }
 
 /// Probability in [0,1] that an emulated transaction aborts (Abort::kConflict)

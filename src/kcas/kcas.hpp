@@ -15,9 +15,18 @@
 // helping machinery, and a plain KCAS (no path) used by the MCMS baseline.
 //
 // Thread model: any thread calling into this class is registered with
-// ThreadRegistry. A thread performs at most one KCAS operation at a time (the
-// staging area is per-thread), but may help any number of other operations
-// while reading.
+// ThreadRegistry (registration happens lazily on the first call; worker
+// threads should hold a ThreadGuard so ids recycle). A thread performs at
+// most one KCAS operation at a time (the staging area is per-thread), but
+// may help any number of other operations while reading.
+//
+// Ownership/lifetime: KcasDomain::instance() is a process-lifetime singleton
+// whose descriptor tables are statically sized by kMaxThreads — no
+// descriptor is ever heap-allocated or freed. The AtomicWords passed to
+// addEntry()/addPath() are owned by the caller and must remain mapped until
+// no helper can still hold a (tid, seq) reference that resolves to them;
+// data structures guarantee this by retiring nodes through recl::EbrDomain
+// rather than deleting them.
 #pragma once
 
 #include <algorithm>
@@ -427,7 +436,7 @@ class KcasDomain {
 
   /// Phase 2 + result extraction. Safe to call at any point after the
   /// operation's state is decided (or the descriptor went stale).
-  ExecResult done(word_t ref, bool isOwner) {
+  ExecResult done(word_t ref, [[maybe_unused]] bool isOwner) {
     KcasDesc& des = descs_[refTid(ref)].value;
     const std::uint64_t seq = refSeq(ref);
     const word_t ss = des.seqState.load(std::memory_order_acquire);

@@ -16,6 +16,20 @@
 //
 // All functions operate on the calling thread's (reused) descriptor in the
 // process-wide KcasDomain.
+//
+// Usage requirements:
+//  * Threads register with ThreadRegistry lazily on first use; at most
+//    kMaxThreads (256) may be registered at once. Short-lived worker threads
+//    should hold a pathcas::ThreadGuard so their ids recycle.
+//  * A staged operation (start/add/addVer/visit) lives in the calling
+//    thread's private staging area: one in-flight operation per thread, and
+//    the exec()/vexec() that consumes it must run on the staging thread.
+//    start() discards any previously staged state.
+//  * Lifetime of targets: a casword handed to add()/visit() must stay mapped
+//    until no helper can still hold a descriptor reference to it. Unlink a
+//    node and mark its version in the same vexec, then retire it through
+//    recl::EbrDomain (never delete directly); traverse only while pinned by
+//    a recl::Guard.
 #pragma once
 
 #include <cstdint>
@@ -62,7 +76,8 @@ void add(casword<T>& w, T oldV, T newV) {
 /// Stage a *version word* change. Semantically identical to add(); version
 /// entries are additionally written first by the HTM fast path so that
 /// concurrent validated readers racing an emulated transaction always
-/// observe the version bump before any data write (see DESIGN.md §1).
+/// observe the version bump before any data write (see docs/ARCHITECTURE.md,
+/// "HTM emulation").
 inline void addVer(casword<Version>& w, Version oldV, Version newV) {
   domain().addVerEntry(w.addr(), detail::encode(oldV), detail::encode(newV));
 }

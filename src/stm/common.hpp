@@ -6,6 +6,18 @@
 // into the data structures (templates), mirroring the paper's force-inlined
 // setup ("we compiled each TM in the same compilation unit as the data
 // structure").
+//
+// Usage requirements (all TMs in this directory):
+//  * Each TM instance keeps per-thread Tx slots indexed by
+//    ThreadRegistry::tid() — callers register lazily on first use and at
+//    most kMaxThreads (256) threads may participate; worker threads should
+//    hold a ThreadGuard so ids recycle.
+//  * The TM object must outlive every transaction run against it and every
+//    node whose reclamation it mediates; a thread runs one transaction at a
+//    time (no nesting).
+//  * tmwords read/written inside a transaction are owned by the enclosing
+//    data structure, which must defer node frees past concurrent readers
+//    (the TM trees retire via recl::EbrDomain).
 #pragma once
 
 #include <atomic>

@@ -4,16 +4,23 @@
 //
 // An elastic transaction behaves like a sequence of short sub-transactions:
 // while the transaction has not written ("elastic phase"), each read only
-// guarantees consistency with a sliding window of the most recent kWindow
-// reads — older reads fall out of the read set, so traversals do not pay
-// whole-path validation and are not invalidated by updates behind them.
-// On the first write the transaction "hardens" into a normal TL2-style
-// transaction: the current window is carried into the full read set and
-// everything from then on is validated at commit.
+// enforces consistency with a sliding window of the most recent kWindow
+// reads — reads past a newer clock value slide the view forward instead of
+// aborting, so hand-over-hand traversals are not invalidated by updates
+// behind them. That relaxation is sound for read-only operations (a search
+// in a linked structure is linearizable if each consecutive pair of reads
+// is mutually consistent); it is NOT sound for updates, whose writes may
+// depend on reads that slid out of the window. Update transactions
+// therefore keep the full read set on the side and, on the first write,
+// "harden" into a normal TL2-style transaction whose commit re-validates
+// every read. (Usage contract: as in common.hpp — per-thread Tx slots keyed
+// by ThreadRegistry::tid(), one transaction per thread, instance outlives
+// all transactions.)
 //
-// This is a faithful reduction of the elastic idea onto our TL2 ownership-
-// record base — sufficient to reproduce the paper's observation that the
-// elastic tree is much slower than hand-crafted lock-free trees.
+// This is a reduction of the elastic idea onto our TL2 ownership-record
+// base: searches get the elastic benefit, updates pay TL2 prices —
+// sufficient to reproduce the paper's observation that the elastic tree is
+// much slower than hand-crafted lock-free trees.
 #pragma once
 
 #include <array>
@@ -42,8 +49,13 @@ class Elastic {
       const std::uint64_t l2 = stripe.load(std::memory_order_acquire);
       if (l1 != l2 || (l1 & 1)) throw AbortTx{};
       if (elastic_) {
-        // Cut point: drop reads older than the window, then check that the
-        // window entries are still unchanged (the sub-transaction is atomic).
+        // Cut point: reads newer than rv_ slide the view forward instead of
+        // aborting, and only the window entries must be mutually unchanged
+        // (the sub-transaction is atomic). The read is still recorded below:
+        // should the transaction turn out to be an update, commit re-validates
+        // the whole set — the elastic relaxation is only trusted for
+        // read-only transactions (hand-over-hand searches), where pairwise
+        // consistency of consecutive reads is what linearizability needs.
         if ((l1 >> 1) > rv_) rv_ = tm_->clock_.load(std::memory_order_acquire);
         window_[windowPos_ % kWindow] = {&stripe, l1};
         ++windowPos_;
@@ -56,22 +68,17 @@ class Elastic {
         }
       } else {
         if ((l1 >> 1) > rv_) throw AbortTx{};
-        readStripes_.push_back({&stripe, l1});
       }
+      readStripes_.push_back({&stripe, l1});
       return tmword<T>::unpack(v);
     }
 
     template <typename T>
     void write(tmword<T>& w, std::type_identity_t<T> v) {
-      if (elastic_) {
-        // Harden: the window becomes the (small) read set — this is exactly
-        // what makes elastic traversals cheap: only the last kWindow reads
-        // must remain valid through commit.
-        elastic_ = false;
-        for (int i = 0; i < kWindow && i < windowPos_; ++i) {
-          if (window_[i].stripe != nullptr) readStripes_.push_back(window_[i]);
-        }
-      }
+      // Harden: from here on this is a TL2-style update transaction. The
+      // elastic-phase reads are already in readStripes_ and will be
+      // re-validated wholesale at commit.
+      elastic_ = false;
       writeSet_.put(&w.raw(), tmword<T>::pack(v));
     }
 
@@ -108,8 +115,17 @@ class Elastic {
       const std::uint64_t wv =
           tm.clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
       for (const auto& e : readStripes_) {
-        const std::uint64_t l = e.stripe->load(std::memory_order_acquire);
-        if (l != e.word && !isOwned(e.stripe)) {
+        // For stripes we locked ourselves, compare against the pre-lock word:
+        // skipping owned stripes outright would hide a concurrent commit that
+        // slipped in between our read and our lock acquisition.
+        std::uint64_t cur = e.stripe->load(std::memory_order_acquire);
+        for (const auto& o : owned_) {
+          if (o.stripe == e.stripe) {
+            cur = o.preLockWord;
+            break;
+          }
+        }
+        if (cur != e.word) {
           releaseOwned();
           throw AbortTx{};
         }

@@ -1,6 +1,11 @@
 // Trivial "TM": one per-instance global lock around every operation. This is
 // the sanity floor of the evaluation (`coarse` trees) — any algorithm that
 // fails to beat it at >1 thread is not exploiting concurrency at all.
+//
+// Usage: the general contract is in common.hpp. This TM is the one exception
+// to the thread-registry requirement — its Tx is stateless and thread_local,
+// so unregistered threads may use it; the instance must still outlive every
+// operation run under its lock.
 #pragma once
 
 #include "stm/common.hpp"

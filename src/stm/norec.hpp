@@ -4,6 +4,11 @@
 // version moves, which guarantees opacity; commits serialize on the global
 // lock. This is the design whose "contention on the global version lock and
 // repeated read set validation" the paper's Fig. 5 analysis highlights.
+//
+// Usage: see common.hpp for the shared contract (per-thread Tx slots keyed
+// by ThreadRegistry::tid(), one transaction per thread, instance outlives
+// all transactions). Read/write sets grow with transaction footprint and are
+// reused across that thread's transactions.
 #pragma once
 
 #include "stm/common.hpp"

@@ -3,6 +3,11 @@
 // (ownership records). Reads are invisible and validated against the clock;
 // commits lock the write stripes, validate the read stripes, publish, and
 // release with the new version.
+//
+// Usage: see common.hpp for the shared contract (per-thread Tx slots keyed
+// by ThreadRegistry::tid(), one transaction per thread, instance outlives
+// all transactions). The ownership-record stripes are per-instance, so
+// tmwords from different TL2 instances must never appear in one transaction.
 #pragma once
 
 #include "stm/common.hpp"

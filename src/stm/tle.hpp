@@ -6,6 +6,12 @@
 // serialize on the same lock, which matches the paper's observation that
 // TLE's "global locking fallback code path degrades performance dramatically
 // in workloads with more updates".
+//
+// Usage: see common.hpp for the shared contract (per-thread Tx slots keyed
+// by ThreadRegistry::tid(), one transaction per thread, instance outlives
+// all transactions). Bodies must be safe to re-execute after an abort, and —
+// like every htm::run() body — must do all their checks before their first
+// write, since the emulated backend cannot roll writes back.
 #pragma once
 
 #include <type_traits>

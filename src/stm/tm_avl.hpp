@@ -4,6 +4,12 @@
 // accesses through tx.read/tx.write. The large read/write sets this creates
 // (every node on the path is read AND potentially height-written) are
 // exactly the TM overheads the paper measures.
+//
+// Ownership/lifetime: the tree owns its nodes; erased nodes are retired
+// through an injected recl::EbrDomain (default: the process-wide instance),
+// so operations must run on registered threads (lazily registered on first
+// use; hold a ThreadGuard in worker threads). The destructor frees the
+// whole tree and must run after all concurrent operations have quiesced.
 #pragma once
 
 #include <algorithm>

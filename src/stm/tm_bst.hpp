@@ -3,6 +3,12 @@
 // a textbook sequential BST; every shared-field access goes through
 // tx.read/tx.write, exactly the "derive concurrent implementations from
 // sequential ones" TM workflow the paper contrasts PathCAS against.
+//
+// Ownership/lifetime: the tree owns its nodes; erased nodes are retired
+// through an injected recl::EbrDomain (default: the process-wide instance),
+// so operations must run on registered threads (hold a ThreadGuard in
+// worker threads). The destructor frees the whole tree and must run after
+// all operations have quiesced.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,12 @@
 // background rebalancer), used for the Fig. 7 comparison. Keys live in the
 // leaves; internal nodes hold routing keys. Insert replaces a leaf with a
 // small internal subtree; delete unlinks a leaf and its parent.
+//
+// Ownership/lifetime: the tree owns its nodes; unlinked leaf/router pairs
+// are retired through an injected recl::EbrDomain (default: the process-wide
+// instance), so operations must run on registered threads (hold a
+// ThreadGuard in worker threads). The destructor frees the whole tree after
+// all operations have quiesced.
 #pragma once
 
 #include <cstdint>

@@ -76,6 +76,10 @@ class ListPathCas {
         delete node;
         return false;
       }
+      // pred already unlinked (marked): exec would still succeed — the mark
+      // changed pred->ver once, before our visit — and link the node into a
+      // dead predecessor, silently losing the insert. Re-find instead.
+      if (isMarked(pos.predVer)) continue;
       if (node == nullptr) node = new Node(key, val);
       node->next.setInitial(pos.curr);
       add(pos.pred->next, pos.curr, node);

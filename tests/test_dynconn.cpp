@@ -103,7 +103,9 @@ TEST(DynConn, ChainBuildAndTearDown) {
   g.checkInvariants();
   // Tear down everything.
   for (int i = 0; i + 1 < kN; ++i) {
-    if (i != kN / 2 - 1) ASSERT_TRUE(g.cut(i, i + 1));
+    if (i != kN / 2 - 1) {
+      ASSERT_TRUE(g.cut(i, i + 1));
+    }
   }
   for (int i = 1; i < kN; ++i) EXPECT_FALSE(g.connected(0, i));
   g.checkInvariants();

@@ -40,11 +40,11 @@ TEST(IntBst, InsertContainsErase) {
 
 TEST(IntBst, LeafOneChildTwoChildDeletions) {
   Bst t;
-  //        50
-  //      /    \
-  //    30      70
-  //   /  \    /
-  //  20  40  60
+  /*        50
+   *      /    \
+   *    30      70
+   *   /  \    /
+   *  20  40  60      */
   for (std::int64_t k : {50, 30, 70, 20, 40, 60}) EXPECT_TRUE(t.insert(k, k));
   EXPECT_TRUE(t.erase(20));  // leaf
   t.checkInvariants();
@@ -62,11 +62,11 @@ TEST(IntBst, LeafOneChildTwoChildDeletions) {
 
 TEST(IntBst, TwoChildDeleteWhereSuccessorIsRightChild) {
   Bst t;
-  //    50
-  //   /  \
-  //  30    70   (succ of 50 is 70, the right child: succP == curr)
-  //          \
-  //           80
+  /*    50
+   *   /  \
+   *  30    70   (succ of 50 is 70, the right child: succP == curr)
+   *          \
+   *           80     */
   for (std::int64_t k : {50, 30, 70, 80}) EXPECT_TRUE(t.insert(k, k));
   EXPECT_TRUE(t.erase(50));
   t.checkInvariants();
@@ -78,13 +78,13 @@ TEST(IntBst, TwoChildDeleteWhereSuccessorIsRightChild) {
 
 TEST(IntBst, TwoChildDeleteWithDeepSuccessorHavingRightChild) {
   Bst t;
-  //      50
-  //    /    \
-  //  30      90
-  //         /
-  //       60       (succ of 50; has a right child 70)
-  //         \
-  //          70
+  /*      50
+   *    /    \
+   *  30      90
+   *         /
+   *       60       (succ of 50; has a right child 70)
+   *         \
+   *          70    */
   for (std::int64_t k : {50, 30, 90, 60, 70}) EXPECT_TRUE(t.insert(k, k));
   EXPECT_TRUE(t.erase(50));
   t.checkInvariants();
