@@ -75,6 +75,7 @@ std::vector<double> sweepThreads(const std::string& experiment,
         (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
         static_cast<unsigned long long>(r.totalOps),
         static_cast<unsigned long long>(r.cyclesPerOp));
+    jsonAppendTrial(experiment, Adapter::name(), cfg, r);
     recl::EbrDomain::instance().drainAll();
   }
   printRow(Adapter::name(), mops);

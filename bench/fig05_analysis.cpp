@@ -24,6 +24,7 @@ void analyze(const TrialConfig& cfg) {
               set->avgKeyDepth(),
               static_cast<double>(set->footprintBytes()) / (1024.0 * 1024.0));
   std::fflush(stdout);
+  jsonAppendTrial("fig05_analysis", Adapter::name(), cfg, r);
   set.reset();
   recl::EbrDomain::instance().drainAll();
 }

@@ -1,12 +1,15 @@
 // Microbenchmarks (google-benchmark) for the primitives themselves: casword
 // read overhead vs a plain atomic load, KCAS cost as a function of width,
-// visit+validate cost as a function of path length, and EBR pin cost. Not a
-// paper figure; establishes the engineering baselines the architecture
-// notes (docs/ARCHITECTURE.md) reference.
+// visit+validate cost as a function of path length, EBR pin cost, and the
+// node-allocation baselines (NodePool alloc+recycle vs malloc new+delete,
+// the cost a pooled structure removes from every update). Not a paper
+// figure; establishes the engineering baselines the architecture notes
+// (docs/ARCHITECTURE.md) reference.
 #include <benchmark/benchmark.h>
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/thread_registry.hpp"
 
 namespace {
@@ -83,6 +86,53 @@ void BM_EbrPin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EbrPin);
+
+// A node shaped like the BST's (five 8-byte words), so the allocation
+// baselines measure what the structures actually pay per update.
+struct AllocBenchNode {
+  std::uint64_t ver, key, val, left, right;
+  AllocBenchNode(std::uint64_t k, std::uint64_t v)
+      : ver(0), key(k), val(v), left(0), right(0) {}
+};
+
+void BM_MallocNewDelete(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto* n = new AllocBenchNode(i, i);
+    benchmark::DoNotOptimize(n);
+    delete n;
+    ++i;
+  }
+}
+BENCHMARK(BM_MallocNewDelete);
+
+void BM_PoolAllocRecycle(benchmark::State& state) {
+  static recl::NodePool<AllocBenchNode> pool;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto* n = pool.alloc(i, i);
+    benchmark::DoNotOptimize(n);
+    pool.destroy(n);
+    ++i;
+  }
+}
+BENCHMARK(BM_PoolAllocRecycle);
+
+// The full update-path memory cost: allocate from the pool, retire through
+// EBR, and let expiry recycle the slot back — what insert+erase pairs pay.
+void BM_PoolRetireRecycleCycle(benchmark::State& state) {
+  static recl::NodePool<AllocBenchNode> pool;
+  auto& domain = recl::EbrDomain::instance();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto g = domain.pin();
+    auto* n = pool.alloc(i, i);
+    benchmark::DoNotOptimize(n);
+    domain.retire(n, pool);
+    ++i;
+  }
+}
+BENCHMARK(BM_PoolRetireRecycleCycle);
 
 void BM_HtmEmulatedTransaction(benchmark::State& state) {
   BenchNode n;

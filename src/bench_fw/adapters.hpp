@@ -1,12 +1,20 @@
 // Uniform adapters over every concurrent-set implementation in the repo, so
 // one generic (typed) test suite and one benchmark driver cover them all.
 // Each adapter exposes: insert(k,v) / erase(k) / contains(k) -> bool,
-// size() / keySum() (quiescent), and name().
+// size() / keySum() (quiescent), and name(). The pooled-tree adapters own
+// DEDICATED NodePools (not the shared per-type defaults), so their
+// footprintBytes() — read from pool counters rather than a reachable-node
+// walk — measures exactly the trial at hand, not cross-trial accumulation.
+// Their destructors drain the EbrDomain first (quiescent by contract at
+// adapter destruction) so no limbo record outlives the dedicated pool.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+
+#include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 
 #include "mcms/mcms_bst.hpp"
 #include "stm/elastic.hpp"
@@ -29,8 +37,10 @@ using Val = std::int64_t;
 
 template <bool UseHtm>
 struct PathCasBstAdapter {
-  ds::IntBstPathCas<Key, Val> tree{
-      ds::IntBstOptions{.useHtmFastPath = UseHtm}};
+  recl::NodePool<typename ds::IntBstPathCas<Key, Val>::Node> pool;
+  ds::IntBstPathCas<Key, Val> tree{ds::IntBstOptions{.useHtmFastPath = UseHtm},
+                                   recl::EbrDomain::instance(), &pool};
+  ~PathCasBstAdapter() { recl::EbrDomain::instance().drainAll(); }
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
@@ -38,9 +48,7 @@ struct PathCasBstAdapter {
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const { tree.checkInvariants(); }
   double avgKeyDepth() const { return tree.checkInvariants().avgKeyDepth; }
-  std::uint64_t footprintBytes() const {
-    return tree.checkInvariants().footprintBytes;
-  }
+  std::uint64_t footprintBytes() const { return pool.footprintBytes(); }
   static std::string name() {
     return UseHtm ? "int-bst-pathcas+" : "int-bst-pathcas";
   }
@@ -48,8 +56,10 @@ struct PathCasBstAdapter {
 
 template <bool UseHtm>
 struct PathCasAvlAdapter {
-  ds::IntAvlPathCas<Key, Val> tree{
-      ds::IntBstOptions{.useHtmFastPath = UseHtm}};
+  recl::NodePool<typename ds::IntAvlPathCas<Key, Val>::Node> pool;
+  ds::IntAvlPathCas<Key, Val> tree{ds::IntBstOptions{.useHtmFastPath = UseHtm},
+                                   recl::EbrDomain::instance(), &pool};
+  ~PathCasAvlAdapter() { recl::EbrDomain::instance().drainAll(); }
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
@@ -57,16 +67,18 @@ struct PathCasAvlAdapter {
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const { tree.checkInvariants(false); }
   double avgKeyDepth() const { return tree.checkInvariants().avgKeyDepth; }
-  std::uint64_t footprintBytes() const {
-    return tree.checkInvariants().footprintBytes;
-  }
+  std::uint64_t footprintBytes() const { return pool.footprintBytes(); }
   static std::string name() {
     return UseHtm ? "int-avl-pathcas+" : "int-avl-pathcas";
   }
 };
 
 struct EllenAdapter {
-  ds::EllenBst<Key, Val> tree;
+  recl::NodePool<typename ds::EllenBst<Key, Val>::Node> nodePool;
+  recl::NodePool<typename ds::EllenBst<Key, Val>::Info> infoPool;
+  ds::EllenBst<Key, Val> tree{recl::EbrDomain::instance(), &nodePool,
+                              &infoPool};
+  ~EllenAdapter() { recl::EbrDomain::instance().drainAll(); }
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
@@ -74,12 +86,14 @@ struct EllenAdapter {
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const {}
   double avgKeyDepth() const { return tree.avgKeyDepth(); }
-  std::uint64_t footprintBytes() const { return tree.footprintBytes(); }
+  std::uint64_t footprintBytes() const { return tree.poolFootprintBytes(); }
   static std::string name() { return "ext-bst-lf"; }
 };
 
 struct TicketAdapter {
-  ds::TicketBst<Key, Val> tree;
+  recl::NodePool<typename ds::TicketBst<Key, Val>::Node> pool;
+  ds::TicketBst<Key, Val> tree{recl::EbrDomain::instance(), &pool};
+  ~TicketAdapter() { recl::EbrDomain::instance().drainAll(); }
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
@@ -87,7 +101,7 @@ struct TicketAdapter {
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const {}
   double avgKeyDepth() const { return tree.avgKeyDepth(); }
-  std::uint64_t footprintBytes() const { return tree.footprintBytes(); }
+  std::uint64_t footprintBytes() const { return tree.poolFootprintBytes(); }
   static std::string name() { return "ext-bst-locks"; }
 };
 

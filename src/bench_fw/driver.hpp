@@ -169,8 +169,45 @@ TrialResult runCell(MakeSet&& makeSet, const TrialConfig& cfg) {
 
 // ---------------------------------------------------------------------------
 // Output helpers: the benches print paper-style rows plus a CSV block that
-// experiment logs can be grepped from (`grep '^csv,'`).
+// experiment logs can be grepped from (`grep '^csv,'`), and — opt-in via
+// PATHCAS_BENCH_JSON=<path> — machine-readable JSON Lines (one object per
+// trial, appended) so perf trajectory can be tracked across PRs.
 // ---------------------------------------------------------------------------
+
+/// The JSON sink, opened (append mode) on first use from PATHCAS_BENCH_JSON.
+/// Returns nullptr when the knob is unset or the file cannot be opened.
+inline std::FILE* jsonSink() {
+  static std::FILE* sink = []() -> std::FILE* {
+    const char* path = std::getenv("PATHCAS_BENCH_JSON");
+    if (path == nullptr || *path == '\0') return nullptr;
+    std::FILE* f = std::fopen(path, "a");
+    if (f == nullptr)
+      std::fprintf(stderr, "PATHCAS_BENCH_JSON: cannot open %s\n", path);
+    return f;
+  }();
+  return sink;
+}
+
+/// Append one JSON object (one line) describing a completed trial.
+inline void jsonAppendTrial(const std::string& experiment,
+                            const std::string& algo, const TrialConfig& cfg,
+                            const TrialResult& r) {
+  std::FILE* f = jsonSink();
+  if (f == nullptr) return;
+  std::fprintf(
+      f,
+      "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,"
+      "\"key_range\":%lld,\"update_pct\":%.1f,\"mops\":%.4f,"
+      "\"total_ops\":%llu,\"cycles_per_op\":%llu,\"elapsed_sec\":%.4f,"
+      "\"keysum_ok\":%s}\n",
+      experiment.c_str(), algo.c_str(), cfg.threads,
+      static_cast<long long>(cfg.keyRange),
+      (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
+      static_cast<unsigned long long>(r.totalOps),
+      static_cast<unsigned long long>(r.cyclesPerOp), r.elapsedSec,
+      r.keysumOk ? "true" : "false");
+  std::fflush(f);
+}
 
 inline void printHeader(const std::string& title,
                         const std::vector<int>& threadCounts) {

@@ -25,8 +25,11 @@
 // descriptor is ever heap-allocated or freed. The AtomicWords passed to
 // addEntry()/addPath() are owned by the caller and must remain mapped until
 // no helper can still hold a (tid, seq) reference that resolves to them;
-// data structures guarantee this by retiring nodes through recl::EbrDomain
-// rather than deleting them.
+// data structures guarantee this by retiring nodes through recl::EbrDomain,
+// which recycles each expired node's memory into its owning recl::NodePool
+// (never freeing or overwriting it before the grace period ends). Helpers
+// may therefore dereference a node's words during the whole grace period;
+// after it, the slot may be reused for a new node of the same type.
 #pragma once
 
 #include <algorithm>

@@ -51,6 +51,9 @@ class McmsBst {
   McmsBst& operator=(const McmsBst&) = delete;
 
   ~McmsBst() {
+    // Quiescent-teardown exception: no thread pinned on this tree anymore,
+    // so reachable nodes are deleted directly (this baseline stays on the
+    // heap; the eleven PathCAS/hand-crafted structures use recl::NodePool).
     freeSubtree(minRoot_->right.load());
     delete minRoot_;
     delete maxRoot_;
@@ -74,7 +77,7 @@ class McmsBst {
       start();
       const SearchResult s = search(key);
       if (s.found) {
-        delete leaf;
+        delete leaf;  // audit: never published (no swap committed it)
         return false;  // granted optimization: no MCMS
       }
       if (leaf == nullptr) leaf = new Node(key, val);

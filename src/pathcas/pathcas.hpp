@@ -28,8 +28,12 @@
 //  * Lifetime of targets: a casword handed to add()/visit() must stay mapped
 //    until no helper can still hold a descriptor reference to it. Unlink a
 //    node and mark its version in the same vexec, then retire it through
-//    recl::EbrDomain (never delete directly); traverse only while pinned by
-//    a recl::Guard.
+//    recl::EbrDomain::retire(p, pool) — never delete or recycle directly;
+//    when the grace period expires the node's slot is handed back to its
+//    recl::NodePool for reuse (recl/pool.hpp). Traverse only while pinned
+//    by a recl::Guard. Nodes that were never published (a spare built for
+//    an insert that lost, a replacement staged in a failed vexec) may be
+//    recycled immediately with NodePool::destroy().
 #pragma once
 
 #include <cstdint>

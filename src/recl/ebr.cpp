@@ -3,19 +3,26 @@
 namespace pathcas::recl {
 
 EbrDomain& EbrDomain::instance() {
-  static EbrDomain domain;
-  return domain;
+  // Deliberately leaked — see the declaration comment: limbo records hold
+  // PoolBase* into NodePools with static storage duration, and destroying
+  // the domain after those pools would recycle into freed memory.
+  static EbrDomain* domain = new EbrDomain();
+  return *domain;
 }
 
 EbrDomain::EbrDomain() = default;
 
 EbrDomain::~EbrDomain() {
-  // Free whatever is still in limbo; at destruction no user threads run.
+  // Recycle whatever is still in limbo; at destruction no user threads run.
+  // Owners (pools) must still be alive — declare pools before local domains.
   for (auto& padded : slots_) {
-    for (auto& bag : padded->bags) {
-      for (auto& r : bag) r.deleter(r.p);
-      bag.clear();
+    for (int i = 0; i < 3; ++i) freeBag(*padded, i);
+    for (LimboChunk* c = padded->chunkCache; c != nullptr;) {
+      LimboChunk* next = c->next;
+      delete c;
+      c = next;
     }
+    padded->chunkCache = nullptr;
   }
 }
 
@@ -33,8 +40,8 @@ void EbrDomain::doPin(ThreadSlot& slot) {
     // was pinned with an announcement < label+1, which would have blocked
     // the global epoch from ever reaching label+2.
     for (int i = 0; i < 3; ++i) {
-      if (!slot.bags[i].empty() && slot.bagLabel[i] + 2 <= e)
-        freeBag(slot, slot.bags[i]);
+      if (slot.bags[i] != nullptr && slot.bagLabel[i] + 2 <= e)
+        freeBag(slot, i);
     }
   }
   if (++slot.pinCount % kAdvanceInterval == 0) tryAdvance();
@@ -57,28 +64,50 @@ void EbrDomain::tryAdvance() {
                                        std::memory_order_acq_rel);
 }
 
-void EbrDomain::freeBag(ThreadSlot& slot, std::vector<Retired>& bag) {
-  for (auto& r : bag) {
-    r.deleter(r.p);
-    ++slot.freed;
+void EbrDomain::freeBag(ThreadSlot& slot, int bagIdx) {
+  // Hand every expired record back to its owner (NodePool recycle or the
+  // HeapRecycler's delete), then return the chunks to this thread's cache —
+  // the bag will reuse them the next time it fills.
+  for (LimboChunk* c = slot.bags[bagIdx]; c != nullptr;) {
+    for (int i = 0; i < c->count; ++i) {
+      c->recs[i].owner->recycleRaw(c->recs[i].p);
+      ++slot.freed;
+    }
+    LimboChunk* next = c->next;
+    c->count = 0;
+    c->next = slot.chunkCache;
+    slot.chunkCache = c;
+    c = next;
   }
-  bag.clear();
+  slot.bags[bagIdx] = nullptr;
 }
 
-void EbrDomain::retireRaw(void* p, void (*deleter)(void*)) {
+void EbrDomain::retireRaw(void* p, PoolBase* owner) {
   auto& slot = *slots_[ThreadRegistry::tid()];
   // Label with the retire-time global epoch L. The bag slot L%3 can only
   // hold leftovers labeled <= L-3, which are already freeable (global == L).
   const std::uint64_t label = globalEpoch_.load(std::memory_order_acquire);
   const int idx = static_cast<int>(label % 3);
   if (slot.bagLabel[idx] != label) {
-    if (!slot.bags[idx].empty()) {
+    if (slot.bags[idx] != nullptr) {
       PATHCAS_DCHECK(slot.bagLabel[idx] + 3 <= label);
-      freeBag(slot, slot.bags[idx]);
+      freeBag(slot, idx);
     }
     slot.bagLabel[idx] = label;
   }
-  slot.bags[idx].push_back(Retired{p, deleter});
+  LimboChunk* head = slot.bags[idx];
+  if (head == nullptr || head->count == LimboChunk::kCapacity) {
+    LimboChunk* c = slot.chunkCache;
+    if (c != nullptr) {
+      slot.chunkCache = c->next;
+    } else {
+      c = new LimboChunk();
+    }
+    c->next = head;
+    c->count = 0;
+    slot.bags[idx] = head = c;
+  }
+  head->recs[head->count++] = Retired{p, owner};
   ++slot.retired;
 }
 
@@ -100,7 +129,7 @@ void EbrDomain::drainAll() {
     PATHCAS_CHECK(!(slots_[i]->announce.load(std::memory_order_acquire) & 1));
   }
   for (auto& padded : slots_) {
-    for (auto& bag : padded->bags) freeBag(*padded, bag);
+    for (int i = 0; i < 3; ++i) freeBag(*padded, i);
   }
 }
 

@@ -10,13 +10,26 @@
 // announcement array and advances the global epoch if every pinned thread has
 // announced it.
 //
-// Guarantees: a retired node is never freed while any thread that might have
-// a pointer to it remains pinned. Unpinned threads never block reclamation.
+// Reclamation is *recycling*, not freeing (DEBRA's design point): every
+// retired node carries a PoolBase owner, and when its grace period expires
+// the node's memory is handed back to that owner — for data-structure nodes
+// the owner is a recl::NodePool (pool.hpp), which pushes the still-cache-warm
+// slot onto the expiring thread's free list for the next allocation. The
+// legacy retire(p) overload routes through HeapRecycler<T>, whose recycleRaw
+// is plain `delete`, for callers without a pool.
+//
+// Limbo bags are chunked intrusive lists (LimboChunk): fixed-size record
+// arrays chained through an embedded next pointer, recycled through a
+// per-thread chunk cache, so steady-state retiring performs no heap
+// allocation at all.
+//
+// Guarantees: a retired node is never recycled while any thread that might
+// have a pointer to it remains pinned. Unpinned threads never block
+// reclamation.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <vector>
 
 #include "util/defs.hpp"
 #include "util/padding.hpp"
@@ -25,6 +38,35 @@
 namespace pathcas::recl {
 
 class EbrDomain;
+
+/// The reclamation contract between EbrDomain and allocators: whoever owns a
+/// retired node's memory implements recycleRaw(), which is invoked exactly
+/// once per retired node, on the retiring thread, after the node's grace
+/// period has expired (no thread can still read it — overwriting the memory
+/// is safe from here on). recl::NodePool is the production implementation.
+class PoolBase {
+ public:
+  virtual void recycleRaw(void* p) = 0;
+
+ protected:
+  ~PoolBase() = default;  // never deleted through the base
+};
+
+template <typename NodeT>
+class NodePool;  // pool.hpp
+
+/// Owner for nodes allocated with plain `new`: recycling is `delete`. Used
+/// by the retire(p) compatibility overload (tests, TM baselines); the
+/// concurrent structures all retire into NodePools instead.
+template <typename T>
+class HeapRecycler final : public PoolBase {
+ public:
+  static HeapRecycler& instance() {
+    static HeapRecycler recycler;
+    return recycler;
+  }
+  void recycleRaw(void* p) override { delete static_cast<T*>(p); }
+};
 
 /// RAII pin. Hold one for the duration of any operation that traverses
 /// reclaimed-memory data structures (the paper's getGuard()).
@@ -44,6 +86,9 @@ class EbrDomain {
  public:
   /// Process-wide domain shared by all data structures (matches the paper's
   /// single-DEBRA-instance setup). Separate domains are possible for tests.
+  /// Deliberately leaked (never destroyed): its limbo records reference
+  /// NodePools with static storage duration, and C++ gives no portable
+  /// ordering between the two at exit; the OS reclaims the memory anyway.
   static EbrDomain& instance();
 
   EbrDomain();
@@ -51,12 +96,23 @@ class EbrDomain {
 
   Guard pin() { return Guard(*this); }
 
-  /// Defer destruction+free of p until no pinned thread can reach it.
+  /// Defer recycling of p into `owner` until no pinned thread can reach it.
+  /// Typed: the pool must hold nodes of p's exact type, so retiring into a
+  /// sibling pool of a different node size is a compile error. The owner
+  /// must outlive every limbo record referencing it: keep pools alive until
+  /// the domain has drained (or is itself gone).
+  template <typename T>
+  void retire(T* p, NodePool<T>& owner) {
+    retireRaw(p, &static_cast<PoolBase&>(owner));
+  }
+
+  /// Compatibility overload for heap-allocated objects: defer `delete p`.
   template <typename T>
   void retire(T* p) {
-    retireRaw(p, [](void* q) { delete static_cast<T*>(q); });
+    retireRaw(p, &HeapRecycler<T>::instance());
   }
-  void retireRaw(void* p, void (*deleter)(void*));
+
+  void retireRaw(void* p, PoolBase* owner);
 
   /// Statistics for tests and the memory-usage analysis bench.
   std::uint64_t epoch() const {
@@ -65,7 +121,7 @@ class EbrDomain {
   std::uint64_t retiredCount() const;
   std::uint64_t freedCount() const;
 
-  /// Free everything immediately. Only callable when no thread is pinned
+  /// Recycle everything immediately. Only callable when no thread is pinned
   /// (e.g. between benchmark trials); checked.
   void drainAll();
 
@@ -73,19 +129,30 @@ class EbrDomain {
   friend class Guard;
   struct Retired {
     void* p;
-    void (*deleter)(void*);
+    PoolBase* owner;
+  };
+  /// One link of a chunked limbo bag. Chunks are recycled through the
+  /// owning thread's chunkCache, so retiring allocates only while a bag is
+  /// still growing toward its high-water mark.
+  struct LimboChunk {
+    static constexpr int kCapacity = 62;  // 16-byte records; chunk ≈ 1 KiB
+    LimboChunk* next = nullptr;
+    int count = 0;
+    Retired recs[kCapacity];
   };
   struct ThreadSlot {
     // Announcement: (epoch << 1) | pinned.
     std::atomic<std::uint64_t> announce{0};
     std::uint64_t pinCount = 0;
     std::uint64_t lastPinEpoch = 0;
-    // Limbo bags. Each bag is labeled with the *global epoch at retire time*
-    // of its contents (not the retiring thread's pin epoch — the global epoch
-    // may have advanced mid-operation, and labeling with the stale pin epoch
-    // would free one grace period too early).
-    std::vector<Retired> bags[3];
+    // Limbo bags (heads of chunk chains). Each bag is labeled with the
+    // *global epoch at retire time* of its contents (not the retiring
+    // thread's pin epoch — the global epoch may have advanced mid-operation,
+    // and labeling with the stale pin epoch would free one grace period too
+    // early).
+    LimboChunk* bags[3] = {nullptr, nullptr, nullptr};
     std::uint64_t bagLabel[3] = {0, 0, 0};
+    LimboChunk* chunkCache = nullptr;
     std::uint64_t retired = 0;
     std::uint64_t freed = 0;
     int nestDepth = 0;
@@ -94,7 +161,7 @@ class EbrDomain {
   void doPin(ThreadSlot& slot);
   void doUnpin(ThreadSlot& slot);
   void tryAdvance();
-  void freeBag(ThreadSlot& slot, std::vector<Retired>& bag);
+  void freeBag(ThreadSlot& slot, int bagIdx);
 
   static constexpr std::uint64_t kAdvanceInterval = 32;
 

@@ -1,0 +1,298 @@
+// Type-segregated node pool with per-thread free lists — the allocation half
+// of the repo's recycling memory stack (the reclamation half is ebr.hpp).
+//
+// DEBRA (the paper's reclamation scheme, §4.3) is designed for retired nodes
+// to be *recycled*, not handed back to the global allocator: on the
+// update-heavy sweeps every insert allocates and every delete retires, so
+// allocator locks and metadata would otherwise sit on every operation.
+// NodePool<Node> closes that loop:
+//
+//   alloc()   — pop a slot from the calling thread's free list (pure
+//               pointer ops, no synchronization); refill a whole chain from
+//               a global shard on miss; touch ::operator new only when the
+//               pool has never held enough memory (warm-up / growth).
+//   retire    — EbrDomain limbo records carry `this` as the PoolBase owner;
+//               when the grace period expires, recycleRaw() pushes the
+//               still-cache-warm slot onto the *retiring* thread's free
+//               list, so churny workloads keep reusing hot lines.
+//   destroy() — immediate recycle, for nodes that were never published
+//               (failed-insert spares, failed-vexec replacements) and for
+//               quiescent teardown.
+//
+// Free lists are intrusive (the link lives in the dead node's first bytes —
+// legal because a slot is only linked after its grace period, when no thread
+// can read it) and bounded: a local list that grows past kLocalCap spills a
+// chain of kSpillBatch slots to one of kShards lock-protected global shard
+// lists, where other threads' refills pick it up, so memory migrates between
+// threads instead of accumulating.
+//
+// Ownership rules (see docs/ARCHITECTURE.md, "The memory subsystem"):
+//   * A pool must outlive (a) every structure allocating from it and
+//     (b) every EbrDomain limbo record that names it as owner. Structures
+//     default to a per-node-type process-lifetime pool (their defaultPool()),
+//     which satisfies both; callers passing their own pool must declare it
+//     before any local EbrDomain that will hold its retirees.
+//   * Node types must be trivially destructible (checked): the pool reclaims
+//     slots wholesale, and EBR recycling must not run user code on memory
+//     another thread may still read.
+//   * alloc()/destroy()/recycleRaw() may race freely across threads;
+//     drainQuiescent() and the stats aggregators require quiescence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+#include "recl/ebr.hpp"
+#include "util/defs.hpp"
+#include "util/locks.hpp"
+#include "util/padding.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::recl {
+
+struct PoolStats {
+  std::uint64_t fresh = 0;     // slots obtained from ::operator new
+  std::uint64_t reused = 0;    // slots obtained from a free list
+  std::uint64_t recycled = 0;  // slots returned (EBR expiry or destroy())
+  std::uint64_t spills = 0;    // local → global chain handoffs
+  std::uint64_t refills = 0;   // global → local chain handoffs
+  std::uint64_t drained = 0;   // slots released back to ::operator delete
+};
+
+template <typename NodeT>
+class NodePool final : public PoolBase {
+ public:
+  static_assert(std::is_trivially_destructible_v<NodeT>,
+                "pooled nodes are reclaimed without running destructors");
+
+  NodePool() = default;
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+  ~NodePool() { drainQuiescent(); }
+
+  /// Allocate and construct a node. Wait-free except on the cold miss path.
+  template <typename... Args>
+  NodeT* alloc(Args&&... args) {
+    LocalCache& lc = *local_[ThreadRegistry::tid()];
+    FreeSlot* slot = lc.head;
+    if (PATHCAS_UNLIKELY(slot == nullptr)) {
+      if (!refill(lc)) {
+        ++lc.stats.fresh;
+        void* raw = ::operator new(kSlotSize, std::align_val_t{kSlotAlign});
+        return new (raw) NodeT(std::forward<Args>(args)...);
+      }
+      slot = lc.head;
+    }
+    lc.head = slot->next;
+    --lc.count;
+    ++lc.stats.reused;
+    return new (static_cast<void*>(slot)) NodeT(std::forward<Args>(args)...);
+  }
+
+  /// Immediately return a node's slot to the pool. Only legal for nodes no
+  /// other thread can reach: never-published spares and quiescent teardown.
+  /// Reachable nodes go through EbrDomain::retire(p, pool) instead.
+  void destroy(NodeT* p) { recycleRaw(p); }
+
+  /// PoolBase hook: EbrDomain hands back an expired slot (grace period over,
+  /// nobody can read it) on the retiring thread. Null-safe, like the
+  /// `delete` it replaces (destroy() funnels through here).
+  void recycleRaw(void* p) override {
+    if (p == nullptr) return;
+    LocalCache& lc = *local_[ThreadRegistry::tid()];
+    auto* slot = static_cast<FreeSlot*>(p);
+    slot->next = lc.head;
+    lc.head = slot;
+    ++lc.count;
+    ++lc.stats.recycled;
+    if (PATHCAS_UNLIKELY(lc.count >= kLocalCap)) spill(lc);
+  }
+
+  /// Release all pooled (free) memory back to the system. Requires
+  /// quiescence: no concurrent alloc/destroy, and no structure still holds
+  /// live nodes it expects to destroy later *into* this memory — though live
+  /// nodes themselves are untouched (only free slots are released).
+  void drainQuiescent() {
+    for (auto& padded : local_) {
+      LocalCache& lc = *padded;
+      lc.stats.drained += releaseChain(lc.head);
+      lc.head = nullptr;
+      lc.count = 0;
+    }
+    std::uint64_t drained = 0;
+    for (auto& padded : shards_) {
+      Shard& sh = *padded;
+      sh.lock.lock();
+      Chain* chain = sh.chains.load(std::memory_order_relaxed);
+      sh.chains.store(nullptr, std::memory_order_relaxed);
+      sh.lock.unlock();
+      while (chain != nullptr) {
+        Chain* next = chain->nextChain;
+        drained += releaseChain(chain->slots);
+        ::operator delete(chain, std::align_val_t{kSlotAlign});
+        ++drained;  // the chain header occupies a slot too
+        chain = next;
+      }
+    }
+    local_[ThreadRegistry::tid()]->stats.drained += drained;
+  }
+
+  // ----------------------------------------------------------------------
+  // Statistics (aggregators require quiescence; used by tests and the
+  // footprint columns of the analysis benches).
+  // ----------------------------------------------------------------------
+
+  PoolStats stats() const {
+    PoolStats total;
+    for (auto& padded : local_) {
+      const PoolStats& s = padded->stats;
+      total.fresh += s.fresh;
+      total.reused += s.reused;
+      total.recycled += s.recycled;
+      total.spills += s.spills;
+      total.refills += s.refills;
+      total.drained += s.drained;
+    }
+    return total;
+  }
+
+  /// Nodes handed out and not yet returned (live in structures or in limbo).
+  std::uint64_t liveCount() const {
+    const PoolStats s = stats();
+    return s.fresh + s.reused - s.recycled;
+  }
+
+  /// Free slots currently cached (local lists + global shards).
+  std::uint64_t freeCount() const {
+    std::uint64_t n = 0;
+    for (auto& padded : local_) n += padded->count;
+    for (auto& padded : shards_) {
+      Shard& sh = const_cast<Shard&>(*padded);
+      sh.lock.lock();
+      for (Chain* c = sh.chains.load(std::memory_order_relaxed); c != nullptr;
+           c = c->nextChain) {
+        n += c->count;
+      }
+      sh.lock.unlock();
+    }
+    return n;
+  }
+
+  /// Bytes of node memory the pool currently holds (live + free): what the
+  /// paper's footprint analysis measures, from counters instead of a walk.
+  std::uint64_t footprintBytes() const {
+    const PoolStats s = stats();
+    return (s.fresh - s.drained) * kSlotSize;
+  }
+
+  static constexpr std::size_t slotSize() { return kSlotSize; }
+
+ private:
+  /// Intrusive free-list link, written over a dead node's first bytes.
+  struct FreeSlot {
+    FreeSlot* next;
+  };
+  /// A spilled chain's header, written over its first slot: the chain link,
+  /// the remaining slots, and the total count (header slot included).
+  struct Chain {
+    Chain* nextChain;
+    FreeSlot* slots;
+    std::uint32_t count;
+  };
+
+  static constexpr std::size_t kSlotSize =
+      sizeof(NodeT) > sizeof(Chain) ? sizeof(NodeT) : sizeof(Chain);
+  // Cache-line aligned so a node never straddles a line it doesn't need to
+  // (and so recycling hands back line-granular memory).
+  static constexpr std::size_t kSlotAlign =
+      alignof(NodeT) > kCacheLine ? alignof(NodeT) : kCacheLine;
+
+  static constexpr std::uint32_t kLocalCap = 512;
+  static constexpr std::uint32_t kSpillBatch = kLocalCap / 2;
+  static constexpr int kShards = 8;
+
+  struct LocalCache {
+    FreeSlot* head = nullptr;
+    std::uint32_t count = 0;
+    PoolStats stats;
+  };
+  struct Shard {
+    TatasLock lock;
+    std::atomic<Chain*> chains{nullptr};  // mutated under lock; atomic so
+                                          // refill can peek without it
+  };
+
+  void spill(LocalCache& lc) {
+    // Keep the hottest (most recently freed, nearest the head) half local;
+    // export the stale tail — the walk to the cut point costs the same
+    // either way, and the local list stays cache-warm.
+    FreeSlot* keepTail = lc.head;
+    for (std::uint32_t i = 1; i < lc.count - kSpillBatch; ++i)
+      keepTail = keepTail->next;
+    FreeSlot* first = keepTail->next;  // head of the cold tail
+    keepTail->next = nullptr;
+    lc.count -= kSpillBatch;
+    FreeSlot* rest = first->next;  // read before the header overwrites it
+    auto* chain = new (static_cast<void*>(first)) Chain{nullptr, rest,
+                                                        kSpillBatch};
+    Shard& sh = *shards_[shardIndex()];
+    sh.lock.lock();
+    chain->nextChain = sh.chains.load(std::memory_order_relaxed);
+    sh.chains.store(chain, std::memory_order_relaxed);
+    sh.lock.unlock();
+    ++lc.stats.spills;
+  }
+
+  bool refill(LocalCache& lc) {
+    const int start = shardIndex();
+    for (int i = 0; i < kShards; ++i) {
+      Shard& sh = *shards_[(start + i) % kShards];
+      if (sh.chains.load(std::memory_order_relaxed) == nullptr) continue;
+      sh.lock.lock();
+      Chain* chain = sh.chains.load(std::memory_order_relaxed);
+      if (chain != nullptr)
+        sh.chains.store(chain->nextChain, std::memory_order_relaxed);
+      sh.lock.unlock();
+      if (chain == nullptr) continue;
+      // Turn the header slot back into a plain free slot at the chain head.
+      FreeSlot* rest = chain->slots;
+      const std::uint32_t count = chain->count;
+      auto* headSlot = new (static_cast<void*>(chain)) FreeSlot{rest};
+      lc.head = headSlot;
+      lc.count = count;
+      ++lc.stats.refills;
+      return true;
+    }
+    return false;
+  }
+
+  static std::uint64_t releaseChain(FreeSlot* slot) {
+    std::uint64_t n = 0;
+    while (slot != nullptr) {
+      FreeSlot* next = slot->next;
+      ::operator delete(slot, std::align_val_t{kSlotAlign});
+      slot = next;
+      ++n;
+    }
+    return n;
+  }
+
+  static int shardIndex() { return ThreadRegistry::tid() % kShards; }
+
+  Padded<LocalCache> local_[kMaxThreads];
+  Padded<Shard> shards_[kShards];
+};
+
+/// The process-lifetime pool shared by every structure instance using node
+/// type N — the default owner when a constructor is not handed one. Static
+/// storage satisfies the pool ownership rule for the process-wide EbrDomain
+/// (which is leaked, so it never outlives these).
+template <typename N>
+NodePool<N>& defaultPool() {
+  static NodePool<N> pool;
+  return pool;
+}
+
+}  // namespace pathcas::recl

@@ -67,6 +67,8 @@ class TmInternalAvl {
       if (didInsert) tx.write(root_, newRoot);
       return didInsert;
     });
+    // Audit: safe direct delete — the transaction returned false, so
+    // leaf was never written into the tree (unpublished).
     if (!inserted) delete leaf;
     return inserted;
   }

@@ -94,6 +94,8 @@ class TmInternalBst {
         cur = child;
       }
     });
+    // Audit: safe direct delete — the transaction returned false, so
+    // leaf was never written into the tree (unpublished).
     if (!inserted) delete leaf;
     return inserted;
   }

@@ -99,6 +99,8 @@ class TmExternalBst {
       }
       return true;
     });
+    // Audit: safe direct deletes — the transaction returned false, so
+    // neither node was written into the tree (unpublished).
     if (!inserted) {
       delete newLeaf;
       delete newInternal;

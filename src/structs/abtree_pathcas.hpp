@@ -25,6 +25,7 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 
 namespace pathcas::ds {
@@ -46,20 +47,22 @@ class AbTreePathCas {
     Node(bool isLeaf, int n) : leaf(isLeaf), count(n) {}
   };
 
-  explicit AbTreePathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {
+  explicit AbTreePathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                         recl::NodePool<Node>* pool = nullptr)
+      : ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
     // Entry node: permanent internal node with a single child (the root),
     // so every replaceable node has a parent pointer to swing.
-    entry_ = new Node(false, 0);
-    entry_->children[0].setInitial(new Node(true, 0));
+    entry_ = pool_.alloc(false, 0);
+    entry_->children[0].setInitial(pool_.alloc(true, 0));
   }
 
   AbTreePathCas(const AbTreePathCas&) = delete;
   AbTreePathCas& operator=(const AbTreePathCas&) = delete;
 
   ~AbTreePathCas() {
+    // Quiescent-teardown exception: direct recycle, no EBR needed.
     freeSubtree(entry_->children[0].load());
-    delete entry_;
+    pool_.destroy(entry_);
   }
 
   bool contains(K key) { return get(key).has_value(); }
@@ -103,9 +106,11 @@ class AbTreePathCas {
       addVer(d.parent->ver, d.parentVer, verBump(d.parentVer));
       addVer(d.leaf->ver, d.leafVer, verMark(d.leafVer));
       if (vexec()) {
-        ebr_.retire(d.leaf);
+        ebr_.retire(d.leaf, pool_);
         return true;
       }
+      // Failed vexec: the replacement was staged as a new value but never
+      // became reachable — direct recycle is safe.
       freeReplacement(replacement);
     }
   }
@@ -128,10 +133,10 @@ class AbTreePathCas {
       addVer(d.parent->ver, d.parentVer, verBump(d.parentVer));
       addVer(d.leaf->ver, d.leafVer, verMark(d.leafVer));
       if (vexec()) {
-        ebr_.retire(d.leaf);
+        ebr_.retire(d.leaf, pool_);
         return true;
       }
-      delete newLeaf;
+      pool_.destroy(newLeaf);  // never published: direct recycle is safe
     }
   }
 
@@ -199,7 +204,7 @@ class AbTreePathCas {
 
   /// New leaf = old leaf plus (key, val), in key order. count must be < B.
   Node* leafWith(Node* leaf, K key, V val) {
-    Node* n = new Node(true, leaf->count + 1);
+    Node* n = pool_.alloc(true, leaf->count + 1);
     int j = 0;
     bool placed = false;
     for (int i = 0; i < leaf->count; ++i) {
@@ -223,7 +228,7 @@ class AbTreePathCas {
   }
 
   Node* leafWithout(Node* leaf, K key) {
-    Node* n = new Node(true, leaf->count - 1);
+    Node* n = pool_.alloc(true, leaf->count - 1);
     int j = 0;
     for (int i = 0; i < leaf->count; ++i) {
       if (leaf->keys[static_cast<std::size_t>(i)] == key) continue;
@@ -262,8 +267,8 @@ class AbTreePathCas {
     }
     const int total = B + 1;
     const int lCount = total / 2;
-    Node* l = new Node(true, lCount);
-    Node* r = new Node(true, total - lCount);
+    Node* l = pool_.alloc(true, lCount);
+    Node* r = pool_.alloc(true, total - lCount);
     for (int i = 0; i < lCount; ++i) {
       l->keys[static_cast<std::size_t>(i)] = keys[static_cast<std::size_t>(i)];
       l->vals[static_cast<std::size_t>(i)] = vals[static_cast<std::size_t>(i)];
@@ -274,19 +279,19 @@ class AbTreePathCas {
       r->vals[static_cast<std::size_t>(i)] =
           vals[static_cast<std::size_t>(lCount + i)];
     }
-    Node* mid = new Node(false, 1);
+    Node* mid = pool_.alloc(false, 1);
     mid->keys[0] = r->keys[0];
     mid->children[0].setInitial(l);
     mid->children[1].setInitial(r);
     return mid;
   }
 
-  static void freeReplacement(Node* n) {
+  void freeReplacement(Node* n) {
     if (!n->leaf) {
-      delete n->children[0].load();
-      delete n->children[1].load();
+      pool_.destroy(n->children[0].load());
+      pool_.destroy(n->children[1].load());
     }
-    delete n;
+    pool_.destroy(n);
   }
 
   std::uint64_t countKeys(Node* n) const {
@@ -333,10 +338,11 @@ class AbTreePathCas {
       for (int i = 0; i <= n->count; ++i)
         freeSubtree(n->children[static_cast<std::size_t>(i)].load());
     }
-    delete n;
+    pool_.destroy(n);
   }
 
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   Node* entry_;
 };
 

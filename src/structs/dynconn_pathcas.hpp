@@ -28,20 +28,48 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 
 namespace pathcas::ds {
 
 class DynConnPathCas {
  public:
+  // Node types are public so callers can hand the constructor dedicated
+  // pools.
+  struct ListNode {
+    casword<Version> ver;
+    casword<std::int64_t> tag;  // packed edge id, vertex id, or kSentinel
+    casword<ListNode*> prev;
+    casword<ListNode*> next;
+    ListNode(std::int64_t t, int /*owner*/) { tag.setInitial(t); }
+  };
+  struct AdjNode {
+    casword<Version> ver;
+    casword<std::int64_t> nbr;
+    casword<ListNode*> out;  // list node for v->w
+    casword<ListNode*> in;   // list node for w->v
+    casword<AdjNode*> next;
+    AdjNode(std::int64_t neighbor, ListNode* outNode, ListNode* inNode) {
+      nbr.setInitial(neighbor);
+      out.setInitial(outNode);
+      in.setInitial(inNode);
+    }
+  };
+
   /// Fixed vertex set 0..n-1; edges are fully dynamic.
   explicit DynConnPathCas(int numVertices,
-                          recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr), vertices_(static_cast<std::size_t>(numVertices)) {
+                          recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                          recl::NodePool<ListNode>* listPool = nullptr,
+                          recl::NodePool<AdjNode>* adjPool = nullptr)
+      : ebr_(ebr),
+        listPool_(listPool ? *listPool : recl::defaultPool<ListNode>()),
+        adjPool_(adjPool ? *adjPool : recl::defaultPool<AdjNode>()),
+        vertices_(static_cast<std::size_t>(numVertices)) {
     for (int v = 0; v < numVertices; ++v) {
-      auto* self = new ListNode(v, v);
-      auto* smin = new ListNode(kSentinel, v);
-      auto* smax = new ListNode(kSentinel, v);
+      auto* self = listPool_.alloc(v, v);
+      auto* smin = listPool_.alloc(kSentinel, v);
+      auto* smax = listPool_.alloc(kSentinel, v);
       smin->next.setInitial(self);
       self->prev.setInitial(smin);
       self->next.setInitial(smax);
@@ -54,12 +82,12 @@ class DynConnPathCas {
   DynConnPathCas& operator=(const DynConnPathCas&) = delete;
 
   ~DynConnPathCas() {
-    // Quiescent teardown: free every tour list once (via min sentinels) and
-    // all adjacency nodes.
+    // Quiescent-teardown exception: recycle every tour list once (via min
+    // sentinels) and all adjacency nodes straight into the pools (no EBR).
     for (auto& vx : vertices_) {
       for (AdjNode* a = vx.adjHead.load(); a != nullptr;) {
         AdjNode* next = a->next.load();
-        delete a;
+        adjPool_.destroy(a);
         a = next;
       }
     }
@@ -74,7 +102,7 @@ class DynConnPathCas {
     for (auto* m : mins) {
       while (m != nullptr) {
         ListNode* next = m->next.load();
-        delete m;
+        listPool_.destroy(m);
         m = next;
       }
     }
@@ -110,8 +138,8 @@ class DynConnPathCas {
       // Result tour: [Sv1, L2v, L1v, VW, L4w, L3w, WV, Sw4] — rotate v's
       // tour to end at v's self edge, splice in the new edge nodes around
       // w's similarly-rotated tour, drop v's max and w's min sentinels.
-      auto* vw = new ListNode(packEdge(v, w), v);
-      auto* wv = new ListNode(packEdge(w, v), v);
+      auto* vw = listPool_.alloc(packEdge(v, w), v);
+      auto* wv = listPool_.alloc(packEdge(w, v), v);
       beginStaging({vw, wv});
       Seg segs[6];
       int nsegs = 0;
@@ -132,8 +160,8 @@ class DynConnPathCas {
       flushBumps();
       // Register the edge in both adjacency lists, atomically with the
       // splice.
-      auto* av = new AdjNode(w, vw, wv);
-      auto* aw = new AdjNode(v, wv, vw);
+      auto* av = adjPool_.alloc(w, vw, wv);
+      auto* aw = adjPool_.alloc(v, wv, vw);
       AdjNode* const vHead = vertex(v).adjHead.load();
       AdjNode* const wHead = vertex(w).adjHead.load();
       av->next.setInitial(vHead);
@@ -141,14 +169,16 @@ class DynConnPathCas {
       add(vertex(v).adjHead, vHead, av);
       add(vertex(w).adjHead, wHead, aw);
       if (vexec()) {
-        ebr_.retire(sv.smax);
-        ebr_.retire(sw.smin);
+        ebr_.retire(sv.smax, listPool_);
+        ebr_.retire(sw.smin, listPool_);
         return true;
       }
-      delete vw;
-      delete wv;
-      delete av;
-      delete aw;
+      // Failed vexec: the four fresh nodes were staged as new values but
+      // never became reachable — direct recycle is safe.
+      listPool_.destroy(vw);
+      listPool_.destroy(wv);
+      adjPool_.destroy(av);
+      adjPool_.destroy(aw);
     }
   }
 
@@ -197,8 +227,8 @@ class DynConnPathCas {
                      "the far endpoint's self edge always sits between");
 
       // Detached tour: wrap L2 in fresh sentinels.
-      auto* s3 = new ListNode(kSentinel, v);
-      auto* s4 = new ListNode(kSentinel, v);
+      auto* s3 = listPool_.alloc(kSentinel, v);
+      auto* s4 = listPool_.alloc(kSentinel, v);
       beginStaging({s3, s4});
       // Main tour: bridge over [first .. second].
       linkPair(l1tail, l3head);
@@ -216,14 +246,15 @@ class DynConnPathCas {
       unlinkAdj(v, fv);
       unlinkAdj(w, fw);
       if (vexec()) {
-        ebr_.retire(vwNode);
-        ebr_.retire(wvNode);
-        ebr_.retire(fv.node);
-        ebr_.retire(fw.node);
+        ebr_.retire(vwNode, listPool_);
+        ebr_.retire(wvNode, listPool_);
+        ebr_.retire(fv.node, adjPool_);
+        ebr_.retire(fw.node, adjPool_);
         return true;
       }
-      delete s3;
-      delete s4;
+      // Failed vexec: the fresh sentinels never became reachable.
+      listPool_.destroy(s3);
+      listPool_.destroy(s4);
     }
   }
 
@@ -251,25 +282,6 @@ class DynConnPathCas {
  private:
   static constexpr std::int64_t kSentinel = -1;
 
-  struct ListNode {
-    casword<Version> ver;
-    casword<std::int64_t> tag;  // packed edge id, vertex id, or kSentinel
-    casword<ListNode*> prev;
-    casword<ListNode*> next;
-    ListNode(std::int64_t t, int /*owner*/) { tag.setInitial(t); }
-  };
-  struct AdjNode {
-    casword<Version> ver;
-    casword<std::int64_t> nbr;
-    casword<ListNode*> out;  // list node for v->w
-    casword<ListNode*> in;   // list node for w->v
-    casword<AdjNode*> next;
-    AdjNode(std::int64_t neighbor, ListNode* outNode, ListNode* inNode) {
-      nbr.setInitial(neighbor);
-      out.setInitial(outNode);
-      in.setInitial(inNode);
-    }
-  };
   struct Vertex {
     ListNode* self = nullptr;
     casword<AdjNode*> adjHead;
@@ -463,6 +475,8 @@ class DynConnPathCas {
   }
 
   recl::EbrDomain& ebr_;
+  recl::NodePool<ListNode>& listPool_;
+  recl::NodePool<AdjNode>& adjPool_;
   std::vector<Vertex> vertices_;
 };
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "recl/pool.hpp"
 #include "structs/list_pathcas.hpp"
 
 namespace pathcas::ds {
@@ -15,12 +16,19 @@ namespace pathcas::ds {
 template <typename K = std::int64_t, typename V = std::int64_t>
 class HashMapPathCas {
  public:
+  using BucketPool = recl::NodePool<typename ListPathCas<K, V>::Node>;
+
+  /// All buckets share one node pool (per-bucket pools would multiply the
+  /// per-thread caches by the bucket count for no benefit).
   explicit HashMapPathCas(std::size_t bucketCount = 1024,
-                          recl::EbrDomain& ebr = recl::EbrDomain::instance())
+                          recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                          BucketPool* pool = nullptr)
       : mask_(roundUpPow2(bucketCount) - 1) {
+    BucketPool& shared =
+        pool ? *pool : recl::defaultPool<typename ListPathCas<K, V>::Node>();
     buckets_.reserve(mask_ + 1);
     for (std::size_t i = 0; i <= mask_; ++i)
-      buckets_.push_back(std::make_unique<ListPathCas<K, V>>(ebr));
+      buckets_.push_back(std::make_unique<ListPathCas<K, V>>(ebr, &shared));
   }
 
   bool insert(K key, V val) { return bucket(key).insert(key, val); }

@@ -14,6 +14,7 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 
 namespace pathcas::ds {
@@ -35,10 +36,11 @@ class ListPathCas {
     }
   };
 
-  explicit ListPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {
-    tail_ = new Node(kPosInf, V{});
-    head_ = new Node(kNegInf, V{});
+  explicit ListPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                       recl::NodePool<Node>* pool = nullptr)
+      : ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
+    tail_ = pool_.alloc(kPosInf, V{});
+    head_ = pool_.alloc(kNegInf, V{});
     head_->next.setInitial(tail_);
   }
 
@@ -46,10 +48,11 @@ class ListPathCas {
   ListPathCas& operator=(const ListPathCas&) = delete;
 
   ~ListPathCas() {
+    // Quiescent-teardown exception: direct recycle, no EBR needed.
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next.load();
-      delete n;
+      pool_.destroy(n);
       n = next;
     }
   }
@@ -73,14 +76,15 @@ class ListPathCas {
       start();
       const Pos pos = find(key);
       if (pos.found) {
-        delete node;
+        // Never published (no add() committed it): direct recycle is safe.
+        if (node != nullptr) pool_.destroy(node);
         return false;
       }
       // pred already unlinked (marked): exec would still succeed — the mark
       // changed pred->ver once, before our visit — and link the node into a
       // dead predecessor, silently losing the insert. Re-find instead.
       if (isMarked(pos.predVer)) continue;
-      if (node == nullptr) node = new Node(key, val);
+      if (node == nullptr) node = pool_.alloc(key, val);
       node->next.setInitial(pos.curr);
       add(pos.pred->next, pos.curr, node);
       addVer(pos.pred->ver, pos.predVer, verBump(pos.predVer));
@@ -106,7 +110,7 @@ class ListPathCas {
       addVer(pos.pred->ver, pos.predVer, verBump(pos.predVer));
       addVer(pos.curr->ver, pos.currVer, verMark(pos.currVer));
       if (pathcas::exec()) {
-        ebr_.retire(pos.curr);
+        ebr_.retire(pos.curr, pool_);
         return true;
       }
     }
@@ -164,6 +168,7 @@ class ListPathCas {
   }
 
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   Node* head_;
   Node* tail_;
 };

@@ -14,6 +14,7 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 #include "util/rand.hpp"
 #include "util/thread_registry.hpp"
@@ -40,10 +41,11 @@ class SkipListPathCas {
     }
   };
 
-  explicit SkipListPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {
-    tail_ = new Node(kPosInf, V{}, MaxLevel);
-    head_ = new Node(kNegInf, V{}, MaxLevel);
+  explicit SkipListPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                           recl::NodePool<Node>* pool = nullptr)
+      : ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
+    tail_ = pool_.alloc(kPosInf, V{}, MaxLevel);
+    head_ = pool_.alloc(kNegInf, V{}, MaxLevel);
     for (int l = 0; l < MaxLevel; ++l) head_->next[l].setInitial(tail_);
   }
 
@@ -51,10 +53,11 @@ class SkipListPathCas {
   SkipListPathCas& operator=(const SkipListPathCas&) = delete;
 
   ~SkipListPathCas() {
+    // Quiescent-teardown exception: direct recycle, no EBR needed.
     Node* n = head_;
     while (n != nullptr) {
       Node* next = n->next[0].load();
-      delete n;
+      pool_.destroy(n);
       n = next;
     }
   }
@@ -94,12 +97,13 @@ class SkipListPathCas {
       searchTo(key, f);
       if (f.found) {
         if (!isMarked(f.nodeVer)) {
-          delete node;
+          // Never published (no add() committed it): direct recycle is safe.
+          if (node != nullptr) pool_.destroy(node);
           return false;  // reachable & unmarked: present
         }
         continue;  // marked twin still linked at some level; retry
       }
-      if (node == nullptr) node = new Node(key, val, h);
+      if (node == nullptr) node = pool_.alloc(key, val, h);
       bool bad = false;
       for (int l = 0; l < h && !bad; ++l) {
         if (isMarked(f.predVer[l]) || f.succ[l] == nullptr) bad = true;
@@ -141,7 +145,7 @@ class SkipListPathCas {
       addPredVersionBumps(f, h);
       addVer(n->ver, f.nodeVer, verMark(f.nodeVer));
       if (vexec()) {
-        ebr_.retire(n);
+        ebr_.retire(n, pool_);
         return true;
       }
     }
@@ -244,6 +248,7 @@ class SkipListPathCas {
   }
 
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   Node* head_;
   Node* tail_;
 };

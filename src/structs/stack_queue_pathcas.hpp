@@ -9,6 +9,7 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 
 namespace pathcas::ds {
@@ -18,24 +19,33 @@ class StackPathCas {
  public:
   static_assert(std::is_integral_v<T>);
 
-  explicit StackPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {}
+  struct Node {
+    casword<Version> ver;
+    casword<T> val;
+    casword<Node*> next;
+    explicit Node(T v) { val.setInitial(v); }
+  };
+
+  explicit StackPathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                        recl::NodePool<Node>* pool = nullptr)
+      : ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {}
 
   StackPathCas(const StackPathCas&) = delete;
   StackPathCas& operator=(const StackPathCas&) = delete;
 
   ~StackPathCas() {
+    // Quiescent-teardown exception: direct recycle, no EBR needed.
     Node* n = head_.load();
     while (n != nullptr) {
       Node* next = n->next.load();
-      delete n;
+      pool_.destroy(n);
       n = next;
     }
   }
 
   void push(T v) {
     auto guard = ebr_.pin();
-    Node* node = new Node(v);
+    Node* node = pool_.alloc(v);
     for (;;) {
       start();
       Node* const top = head_;
@@ -57,7 +67,7 @@ class StackPathCas {
       add(head_, top, top->next.load());
       addVer(top->ver, tv, verMark(tv));
       if (pathcas::exec()) {
-        ebr_.retire(top);
+        ebr_.retire(top, pool_);
         return v;
       }
     }
@@ -71,13 +81,8 @@ class StackPathCas {
   }
 
  private:
-  struct Node {
-    casword<Version> ver;
-    casword<T> val;
-    casword<Node*> next;
-    explicit Node(T v) { val.setInitial(v); }
-  };
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   casword<Node*> head_;
 };
 
@@ -86,9 +91,17 @@ class QueuePathCas {
  public:
   static_assert(std::is_integral_v<T>);
 
-  explicit QueuePathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {
-    Node* sentinel = new Node(T{});
+  struct Node {
+    casword<Version> ver;
+    casword<T> val;
+    casword<Node*> next;
+    explicit Node(T v) { val.setInitial(v); }
+  };
+
+  explicit QueuePathCas(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                        recl::NodePool<Node>* pool = nullptr)
+      : ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
+    Node* sentinel = pool_.alloc(T{});
     head_.setInitial(sentinel);
     tail_.setInitial(sentinel);
   }
@@ -97,17 +110,18 @@ class QueuePathCas {
   QueuePathCas& operator=(const QueuePathCas&) = delete;
 
   ~QueuePathCas() {
+    // Quiescent-teardown exception: direct recycle, no EBR needed.
     Node* n = head_.load();
     while (n != nullptr) {
       Node* next = n->next.load();
-      delete n;
+      pool_.destroy(n);
       n = next;
     }
   }
 
   void enqueue(T v) {
     auto guard = ebr_.pin();
-    Node* node = new Node(v);
+    Node* node = pool_.alloc(v);
     for (;;) {
       start();
       Node* const t = tail_;
@@ -132,7 +146,8 @@ class QueuePathCas {
       add(head_, h, first);
       addVer(h->ver, hv, verMark(hv));
       if (pathcas::exec()) {
-        ebr_.retire(h);  // old sentinel; `first` becomes the new sentinel
+        // Old sentinel; `first` becomes the new sentinel.
+        ebr_.retire(h, pool_);
         return v;
       }
     }
@@ -148,13 +163,8 @@ class QueuePathCas {
   }
 
  private:
-  struct Node {
-    casword<Version> ver;
-    casword<T> val;
-    casword<Node*> next;
-    explicit Node(T v) { val.setInitial(v); }
-  };
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   casword<Node*> head_;
   casword<Node*> tail_;
 };

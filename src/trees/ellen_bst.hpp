@@ -9,8 +9,11 @@
 // to let you avoid writing.
 //
 // Info records, replaced leaves and unlinked internal nodes are reclaimed
-// through EBR; flag words hold stale (never-dereferenced) Info pointers in
-// the CLEAN state, exactly as in the original algorithm.
+// through EBR into type-segregated NodePools (one for Nodes, one for Info
+// records) and recycled; flag words hold stale (never-dereferenced) Info
+// pointers in the CLEAN state, exactly as in the original algorithm —
+// recycling is safe for the same reason deletion was: by the time a slot is
+// reused, no thread can act on a stale reference to it.
 #pragma once
 
 #include <atomic>
@@ -18,6 +21,7 @@
 #include <limits>
 
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 
 namespace pathcas::ds {
@@ -28,122 +32,9 @@ class EllenBst {
   static constexpr K kInf1 = std::numeric_limits<K>::max() / 4 - 1;
   static constexpr K kInf2 = std::numeric_limits<K>::max() / 4;
 
-  explicit EllenBst(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {
-    root_ = new Node(kInf2, V{}, /*leaf=*/false);
-    root_->left.store(new Node(kInf1, V{}, true));
-    root_->right.store(new Node(kInf2, V{}, true));
-  }
-
-  EllenBst(const EllenBst&) = delete;
-  EllenBst& operator=(const EllenBst&) = delete;
-
-  ~EllenBst() { freeSubtree(root_); }
-
-  bool contains(K key) {
-    PATHCAS_DCHECK(key < kInf1);
-    auto guard = ebr_.pin();
-    const SearchResult s = search(key);
-    return s.l->key == key;
-  }
-
-  bool insert(K key, V val) {
-    PATHCAS_DCHECK(key < kInf1);
-    auto guard = ebr_.pin();
-    Node* newLeaf = new Node(key, val, true);
-    for (;;) {
-      const SearchResult s = search(key);
-      if (s.l->key == key) {
-        delete newLeaf;
-        return false;
-      }
-      if (stateOf(s.pupdate) != kClean) {
-        help(s.pupdate);
-        continue;
-      }
-      Node* newSibling = new Node(s.l->key, s.l->val, true);
-      Node* newInternal =
-          new Node(std::max(key, s.l->key), V{}, /*leaf=*/false);
-      if (key < s.l->key) {
-        newInternal->left.store(newLeaf);
-        newInternal->right.store(newSibling);
-      } else {
-        newInternal->left.store(newSibling);
-        newInternal->right.store(newLeaf);
-      }
-      Info* op = new Info();
-      op->p = s.p;
-      op->newInternal = newInternal;
-      op->l = s.l;
-      std::uint64_t expected = s.pupdate;
-      if (s.p->update.compare_exchange_strong(expected,
-                                              pack(op, kIFlag))) {
-        helpInsert(op);
-        return true;
-      }
-      help(expected);
-      delete newSibling;
-      delete newInternal;
-      delete op;
-    }
-  }
-
-  bool erase(K key) {
-    PATHCAS_DCHECK(key < kInf1);
-    auto guard = ebr_.pin();
-    for (;;) {
-      const SearchResult s = search(key);
-      if (s.l->key != key) return false;
-      if (stateOf(s.gpupdate) != kClean) {
-        help(s.gpupdate);
-        continue;
-      }
-      if (stateOf(s.pupdate) != kClean) {
-        help(s.pupdate);
-        continue;
-      }
-      Info* op = new Info();
-      op->gp = s.gp;
-      op->p = s.p;
-      op->l = s.l;
-      op->pupdate = s.pupdate;
-      std::uint64_t expected = s.gpupdate;
-      if (s.gp->update.compare_exchange_strong(expected,
-                                               pack(op, kDFlag))) {
-        if (helpDelete(op)) return true;
-      } else {
-        help(expected);
-        delete op;
-      }
-    }
-  }
-
-  std::uint64_t size() const {
-    std::uint64_t n = 0;
-    countLeaves(root_, n);
-    return n - 2;  // sentinel leaves
-  }
-  std::int64_t keySum() const { return sumLeaves(root_); }
-
-  /// Average depth of real keys (quiescent), for the Fig. 5 analysis.
-  double avgKeyDepth() const {
-    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
-    depthWalk(root_, 1, depthSum, keys, nodes);
-    return keys ? static_cast<double>(depthSum) / static_cast<double>(keys)
-                : 0.0;
-  }
-  std::uint64_t footprintBytes() const {
-    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
-    depthWalk(root_, 1, depthSum, keys, nodes);
-    return nodes * sizeof(Node);
-  }
-
-  static constexpr const char* name() { return "ext-bst-lf"; }
-
- private:
-  enum State : std::uint64_t { kClean = 0, kIFlag = 1, kDFlag = 2, kMark = 3 };
-
   struct Node;
+  /// Operation record for the helping protocol. Public (with Node) so
+  /// callers can hand the constructor dedicated pools.
   struct Info {
     Node* gp = nullptr;
     Node* p = nullptr;
@@ -162,6 +53,129 @@ class EllenBst {
     std::atomic<Node*> right{nullptr};
     Node(K k, V v, bool isLeaf) : key(k), val(v), leaf(isLeaf) {}
   };
+
+  explicit EllenBst(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                    recl::NodePool<Node>* nodePool = nullptr,
+                    recl::NodePool<Info>* infoPool = nullptr)
+      : ebr_(ebr),
+        nodePool_(nodePool ? *nodePool : recl::defaultPool<Node>()),
+        infoPool_(infoPool ? *infoPool : recl::defaultPool<Info>()) {
+    root_ = nodePool_.alloc(kInf2, V{}, /*leaf=*/false);
+    root_->left.store(nodePool_.alloc(kInf1, V{}, true));
+    root_->right.store(nodePool_.alloc(kInf2, V{}, true));
+  }
+
+  EllenBst(const EllenBst&) = delete;
+  EllenBst& operator=(const EllenBst&) = delete;
+
+  // Quiescent-teardown exception: direct recycle, no EBR needed.
+  ~EllenBst() { freeSubtree(root_); }
+
+  bool contains(K key) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    const SearchResult s = search(key);
+    return s.l->key == key;
+  }
+
+  bool insert(K key, V val) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    Node* newLeaf = nodePool_.alloc(key, val, true);
+    for (;;) {
+      const SearchResult s = search(key);
+      if (s.l->key == key) {
+        // Never published: direct recycle is safe.
+        nodePool_.destroy(newLeaf);
+        return false;
+      }
+      if (stateOf(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      Node* newSibling = nodePool_.alloc(s.l->key, s.l->val, true);
+      Node* newInternal =
+          nodePool_.alloc(std::max(key, s.l->key), V{}, /*leaf=*/false);
+      if (key < s.l->key) {
+        newInternal->left.store(newLeaf);
+        newInternal->right.store(newSibling);
+      } else {
+        newInternal->left.store(newSibling);
+        newInternal->right.store(newLeaf);
+      }
+      Info* op = infoPool_.alloc();
+      op->p = s.p;
+      op->newInternal = newInternal;
+      op->l = s.l;
+      std::uint64_t expected = s.pupdate;
+      if (s.p->update.compare_exchange_strong(expected,
+                                              pack(op, kIFlag))) {
+        helpInsert(op);
+        return true;
+      }
+      help(expected);
+      // The flag CAS failed, so op/newSibling/newInternal were never
+      // published: direct recycle is safe.
+      nodePool_.destroy(newSibling);
+      nodePool_.destroy(newInternal);
+      infoPool_.destroy(op);
+    }
+  }
+
+  bool erase(K key) {
+    PATHCAS_DCHECK(key < kInf1);
+    auto guard = ebr_.pin();
+    for (;;) {
+      const SearchResult s = search(key);
+      if (s.l->key != key) return false;
+      if (stateOf(s.gpupdate) != kClean) {
+        help(s.gpupdate);
+        continue;
+      }
+      if (stateOf(s.pupdate) != kClean) {
+        help(s.pupdate);
+        continue;
+      }
+      Info* op = infoPool_.alloc();
+      op->gp = s.gp;
+      op->p = s.p;
+      op->l = s.l;
+      op->pupdate = s.pupdate;
+      std::uint64_t expected = s.gpupdate;
+      if (s.gp->update.compare_exchange_strong(expected,
+                                               pack(op, kDFlag))) {
+        if (helpDelete(op)) return true;
+      } else {
+        help(expected);
+        infoPool_.destroy(op);  // flag CAS failed: never published
+      }
+    }
+  }
+
+  std::uint64_t size() const {
+    std::uint64_t n = 0;
+    countLeaves(root_, n);
+    return n - 2;  // sentinel leaves
+  }
+  std::int64_t keySum() const { return sumLeaves(root_); }
+
+  /// Average depth of real keys (quiescent), for the Fig. 5 analysis.
+  double avgKeyDepth() const {
+    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
+    depthWalk(root_, 1, depthSum, keys, nodes);
+    return keys ? static_cast<double>(depthSum) / static_cast<double>(keys)
+                : 0.0;
+  }
+  /// Memory actually held for this structure's node types, from pool
+  /// counters — the Fig. 5 memory column (via EllenAdapter::footprintBytes).
+  std::uint64_t poolFootprintBytes() const {
+    return nodePool_.footprintBytes() + infoPool_.footprintBytes();
+  }
+
+  static constexpr const char* name() { return "ext-bst-lf"; }
+
+ private:
+  enum State : std::uint64_t { kClean = 0, kIFlag = 1, kDFlag = 2, kMark = 3 };
 
   struct SearchResult {
     Node* gp;
@@ -222,8 +236,8 @@ class EllenBst {
     if (op->p->update.compare_exchange_strong(expected, pack(op, kClean))) {
       // We finished the operation: retire the replaced leaf and the record.
       retireOnce(op, [&] {
-        ebr_.retire(op->l);
-        ebr_.retire(op);
+        ebr_.retire(op->l, nodePool_);
+        ebr_.retire(op, infoPool_);
       });
     }
   }
@@ -239,7 +253,8 @@ class EllenBst {
     help(op->p->update.load(std::memory_order_acquire));
     std::uint64_t flagged = pack(op, kDFlag);
     if (op->gp->update.compare_exchange_strong(flagged, pack(op, kClean))) {
-      retireOnce(op, [&] { ebr_.retire(op); });  // backtracked: only the record
+      // Backtracked: only the record.
+      retireOnce(op, [&] { ebr_.retire(op, infoPool_); });
     }
     return false;
   }
@@ -257,9 +272,9 @@ class EllenBst {
     std::uint64_t flagged = pack(op, kDFlag);
     if (op->gp->update.compare_exchange_strong(flagged, pack(op, kClean))) {
       retireOnce(op, [&] {
-        ebr_.retire(op->p);
-        ebr_.retire(op->l);
-        ebr_.retire(op);
+        ebr_.retire(op->p, nodePool_);
+        ebr_.retire(op->l, nodePool_);
+        ebr_.retire(op, infoPool_);
       });
     }
   }
@@ -305,10 +320,12 @@ class EllenBst {
       freeSubtree(n->left.load());
       freeSubtree(n->right.load());
     }
-    delete n;
+    nodePool_.destroy(n);
   }
 
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& nodePool_;
+  recl::NodePool<Info>& infoPool_;
   Node* root_;
 };
 

@@ -19,6 +19,7 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "trees/int_bst_pathcas.hpp"  // TreeStats, IntBstOptions
 #include "util/defs.hpp"
 
@@ -49,10 +50,11 @@ class IntAvlPathCas {
   };
 
   explicit IntAvlPathCas(IntBstOptions options = {},
-                         recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : opt_(options), ebr_(ebr) {
-    maxRoot_ = new Node(kPosInf, V{}, nullptr);
-    minRoot_ = new Node(kNegInf, V{}, maxRoot_);
+                         recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                         recl::NodePool<Node>* pool = nullptr)
+      : opt_(options), ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
+    maxRoot_ = pool_.alloc(kPosInf, V{}, nullptr);
+    minRoot_ = pool_.alloc(kNegInf, V{}, maxRoot_);
     maxRoot_->left.setInitial(minRoot_);
   }
 
@@ -60,9 +62,11 @@ class IntAvlPathCas {
   IntAvlPathCas& operator=(const IntAvlPathCas&) = delete;
 
   ~IntAvlPathCas() {
+    // Quiescent-teardown exception: no thread pinned on this tree anymore,
+    // so reachable nodes go straight back to the pool (no EBR).
     freeSubtree(minRoot_->right.load());
-    delete minRoot_;
-    delete maxRoot_;
+    pool_.destroy(minRoot_);
+    pool_.destroy(maxRoot_);
   }
 
   bool contains(K key) {
@@ -97,13 +101,14 @@ class IntAvlPathCas {
       const SearchResult s = search(key);
       if (s.found) {
         if (opt_.reduceValidation || validate()) {
-          delete leaf;
+          // Never published (no add() committed it): direct recycle is safe.
+          if (leaf != nullptr) pool_.destroy(leaf);
           return false;
         }
         continue;
       }
       if (leaf == nullptr) {
-        leaf = new Node(key, val, s.parent);
+        leaf = pool_.alloc(key, val, s.parent);
       } else {
         leaf->parent.setInitial(s.parent);
       }
@@ -142,7 +147,7 @@ class IntAvlPathCas {
         addVer(parent->ver, s.parentVer, verBump(s.parentVer));
         addVer(curr->ver, s.currVer, verMark(s.currVer));
         if (execOrVex()) {
-          ebr_.retire(curr);
+          ebr_.retire(curr, pool_);
           rebalance(parent);
           return true;
         }
@@ -158,7 +163,7 @@ class IntAvlPathCas {
         addVer(parent->ver, s.parentVer, verBump(s.parentVer));
         addVer(curr->ver, s.currVer, verMark(s.currVer));
         if (execOrVex()) {
-          ebr_.retire(curr);
+          ebr_.retire(curr, pool_);
           rebalance(parent);
           return true;
         }
@@ -191,7 +196,7 @@ class IntAvlPathCas {
         if (su.succP != curr)
           addVer(curr->ver, s.currVer, verBump(s.currVer));
         if (vex()) {
-          ebr_.retire(su.succ);
+          ebr_.retire(su.succ, pool_);
           rebalance(su.succP);
           return true;
         }
@@ -695,13 +700,14 @@ class IntAvlPathCas {
     if (n == nullptr) return;
     freeSubtree(n->left.load());
     freeSubtree(n->right.load());
-    delete n;
+    pool_.destroy(n);
   }
 
   static constexpr int kMaxRebalanceAttempts = 10000;
 
   IntBstOptions opt_;
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   Node* maxRoot_;
   Node* minRoot_;
 };

@@ -20,6 +20,7 @@
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 
 namespace pathcas::ds {
@@ -66,10 +67,11 @@ class IntBstPathCas {
   };
 
   explicit IntBstPathCas(IntBstOptions options = {},
-                         recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : opt_(options), ebr_(ebr) {
-    maxRoot_ = new Node(kPosInf, V{});
-    minRoot_ = new Node(kNegInf, V{});
+                         recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                         recl::NodePool<Node>* pool = nullptr)
+      : opt_(options), ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
+    maxRoot_ = pool_.alloc(kPosInf, V{});
+    minRoot_ = pool_.alloc(kNegInf, V{});
     maxRoot_->left.setInitial(minRoot_);
   }
 
@@ -77,10 +79,11 @@ class IntBstPathCas {
   IntBstPathCas& operator=(const IntBstPathCas&) = delete;
 
   ~IntBstPathCas() {
-    // Quiescent teardown: free all reachable nodes directly.
+    // Quiescent-teardown exception: no thread can be pinned on this tree
+    // anymore, so reachable nodes go straight back to the pool (no EBR).
     freeSubtree(minRoot_->right.load());
-    delete minRoot_;
-    delete maxRoot_;
+    pool_.destroy(minRoot_);
+    pool_.destroy(maxRoot_);
   }
 
   /// True iff key is in the set. Validation is skipped on found keys when
@@ -121,12 +124,13 @@ class IntBstPathCas {
       const SearchResult s = search(key);
       if (s.found) {
         if (opt_.reduceValidation || validate()) {
-          delete leaf;
+          // Never published (no add() committed it): direct recycle is safe.
+          if (leaf != nullptr) pool_.destroy(leaf);
           return false;
         }
         continue;
       }
-      if (leaf == nullptr) leaf = new Node(key, val);
+      if (leaf == nullptr) leaf = pool_.alloc(key, val);
       const K parentKey = s.parent->key;
       auto& ptrToChange =
           (key < parentKey) ? s.parent->left : s.parent->right;
@@ -161,7 +165,7 @@ class IntBstPathCas {
         addVer(parent->ver, s.parentVer, verBump(s.parentVer));
         addVer(curr->ver, s.currVer, verMark(s.currVer));
         if (execOrVex()) {
-          ebr_.retire(curr);
+          ebr_.retire(curr, pool_);
           return true;
         }
       } else if (currLeft == nullptr || currRight == nullptr) {
@@ -173,7 +177,7 @@ class IntBstPathCas {
         addVer(parent->ver, s.parentVer, verBump(s.parentVer));
         addVer(curr->ver, s.currVer, verMark(s.currVer));
         if (execOrVex()) {
-          ebr_.retire(curr);
+          ebr_.retire(curr, pool_);
           return true;
         }
       } else {
@@ -202,7 +206,7 @@ class IntBstPathCas {
         if (su.succP != curr)
           addVer(curr->ver, s.currVer, verBump(s.currVer));
         if (vex()) {
-          ebr_.retire(su.succ);
+          ebr_.retire(su.succ, pool_);
           return true;
         }
       }
@@ -324,11 +328,12 @@ class IntBstPathCas {
     if (n == nullptr) return;
     freeSubtree(n->left.load());
     freeSubtree(n->right.load());
-    delete n;
+    pool_.destroy(n);
   }
 
   IntBstOptions opt_;
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   Node* maxRoot_;
   Node* minRoot_;
 };

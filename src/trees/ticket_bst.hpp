@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "recl/ebr.hpp"
+#include "recl/pool.hpp"
 #include "util/defs.hpp"
 #include "util/locks.hpp"
 
@@ -22,16 +23,29 @@ class TicketBst {
   static constexpr K kInf1 = std::numeric_limits<K>::max() / 4 - 1;
   static constexpr K kInf2 = std::numeric_limits<K>::max() / 4;
 
-  explicit TicketBst(recl::EbrDomain& ebr = recl::EbrDomain::instance())
-      : ebr_(ebr) {
-    root_ = new Node(kInf2, V{}, false);
-    root_->left.store(new Node(kInf1, V{}, true));
-    root_->right.store(new Node(kInf2, V{}, true));
+  struct Node {
+    const K key;
+    const V val;
+    const bool leaf;
+    TicketLock lock;
+    std::atomic<bool> removed{false};
+    std::atomic<Node*> left{nullptr};
+    std::atomic<Node*> right{nullptr};
+    Node(K k, V v, bool isLeaf) : key(k), val(v), leaf(isLeaf) {}
+  };
+
+  explicit TicketBst(recl::EbrDomain& ebr = recl::EbrDomain::instance(),
+                     recl::NodePool<Node>* pool = nullptr)
+      : ebr_(ebr), pool_(pool ? *pool : recl::defaultPool<Node>()) {
+    root_ = pool_.alloc(kInf2, V{}, false);
+    root_->left.store(pool_.alloc(kInf1, V{}, true));
+    root_->right.store(pool_.alloc(kInf2, V{}, true));
   }
 
   TicketBst(const TicketBst&) = delete;
   TicketBst& operator=(const TicketBst&) = delete;
 
+  // Quiescent-teardown exception: direct recycle, no EBR needed.
   ~TicketBst() { freeSubtree(root_); }
 
   bool contains(K key) {
@@ -48,7 +62,7 @@ class TicketBst {
   bool insert(K key, V val) {
     PATHCAS_DCHECK(key < kInf1);
     auto guard = ebr_.pin();
-    Node* newLeaf = new Node(key, val, true);
+    Node* newLeaf = pool_.alloc(key, val, true);
     for (;;) {
       Node* p = nullptr;
       Node* l = root_;
@@ -58,7 +72,7 @@ class TicketBst {
                            : l->right.load(std::memory_order_acquire);
       }
       if (l->key == key) {
-        delete newLeaf;
+        pool_.destroy(newLeaf);  // never published: direct recycle is safe
         return false;
       }
       p->lock.lock();
@@ -69,8 +83,8 @@ class TicketBst {
         p->lock.unlock();
         continue;
       }
-      Node* newSibling = new Node(l->key, l->val, true);
-      Node* newInternal = new Node(std::max(key, l->key), V{}, false);
+      Node* newSibling = pool_.alloc(l->key, l->val, true);
+      Node* newInternal = pool_.alloc(std::max(key, l->key), V{}, false);
       if (key < l->key) {
         newInternal->left.store(newLeaf);
         newInternal->right.store(newSibling);
@@ -80,7 +94,7 @@ class TicketBst {
       }
       childRef.store(newInternal, std::memory_order_release);
       p->lock.unlock();
-      ebr_.retire(l);
+      ebr_.retire(l, pool_);
       return true;
     }
   }
@@ -119,8 +133,8 @@ class TicketBst {
       gpChild.store(sibling, std::memory_order_release);
       p->lock.unlock();
       gp->lock.unlock();
-      ebr_.retire(p);
-      ebr_.retire(l);
+      ebr_.retire(p, pool_);
+      ebr_.retire(l, pool_);
       return true;
     }
   }
@@ -138,25 +152,13 @@ class TicketBst {
     return keys ? static_cast<double>(depthSum) / static_cast<double>(keys)
                 : 0.0;
   }
-  std::uint64_t footprintBytes() const {
-    std::uint64_t depthSum = 0, keys = 0, nodes = 0;
-    depthWalk(root_, 1, depthSum, keys, nodes);
-    return nodes * sizeof(Node);
-  }
+  /// Memory actually held for this structure's node type, from pool
+  /// counters — the Fig. 5 memory column (via TicketAdapter::footprintBytes).
+  std::uint64_t poolFootprintBytes() const { return pool_.footprintBytes(); }
 
   static constexpr const char* name() { return "ext-bst-locks"; }
 
  private:
-  struct Node {
-    const K key;
-    const V val;
-    const bool leaf;
-    TicketLock lock;
-    std::atomic<bool> removed{false};
-    std::atomic<Node*> left{nullptr};
-    std::atomic<Node*> right{nullptr};
-    Node(K k, V v, bool isLeaf) : key(k), val(v), leaf(isLeaf) {}
-  };
 
   void depthWalk(Node* n, std::uint64_t depth, std::uint64_t& depthSum,
                  std::uint64_t& keys, std::uint64_t& nodes) const {
@@ -194,10 +196,11 @@ class TicketBst {
       freeSubtree(n->left.load());
       freeSubtree(n->right.load());
     }
-    delete n;
+    pool_.destroy(n);
   }
 
   recl::EbrDomain& ebr_;
+  recl::NodePool<Node>& pool_;
   Node* root_;
 };
 
