@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,12 +57,31 @@ inline std::vector<int> defaultThreads() {
   return {1, 2, 4, 8};
 }
 
+/// Per-cell CSV emitter, swappable per experiment (the sweep loop itself —
+/// fresh structure per cell, JSON emission, EBR drain between cells — is
+/// shared and must not be duplicated).
+using CsvPrinter = std::function<void(
+    const std::string& experiment, const std::string& algo,
+    const TrialConfig& cfg, const TrialResult& r)>;
+
+/// The default `csv,<experiment>,...` schema shared by the figure benches.
+inline void printStandardCsv(const std::string& experiment,
+                             const std::string& algo, const TrialConfig& cfg,
+                             const TrialResult& r) {
+  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu\n", experiment.c_str(),
+              algo.c_str(), cfg.threads, static_cast<long long>(cfg.keyRange),
+              (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
+              static_cast<unsigned long long>(r.totalOps),
+              static_cast<unsigned long long>(r.cyclesPerOp));
+}
+
 /// Run `Adapter` across thread counts; prints a row and a CSV block line per
 /// cell. Returns Mops per thread count.
 template <typename Adapter>
 std::vector<double> sweepThreads(const std::string& experiment,
                                  const std::vector<int>& threads,
-                                 TrialConfig base) {
+                                 TrialConfig base,
+                                 const CsvPrinter& csv = printStandardCsv) {
   std::vector<double> mops;
   for (int t : threads) {
     TrialConfig cfg = base;
@@ -69,12 +89,7 @@ std::vector<double> sweepThreads(const std::string& experiment,
     const TrialResult r =
         runCell([] { return std::make_unique<Adapter>(); }, cfg);
     mops.push_back(r.mops);
-    std::printf(
-        "csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu\n", experiment.c_str(),
-        Adapter::name().c_str(), t, static_cast<long long>(cfg.keyRange),
-        (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
-        static_cast<unsigned long long>(r.totalOps),
-        static_cast<unsigned long long>(r.cyclesPerOp));
+    csv(experiment, Adapter::name(), cfg, r);
     jsonAppendTrial(experiment, Adapter::name(), cfg, r);
     recl::EbrDomain::instance().drainAll();
   }

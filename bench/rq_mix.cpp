@@ -1,0 +1,75 @@
+// Range-query mix sweep (index-scan style workloads): every ordered
+// structure with a rangeQuery under mixes of point updates, point lookups
+// and fixed-width range scans, across RQ ratio and RQ width. The PathCAS
+// structures answer scans with validated (linearizable) snapshots; the
+// hand-crafted external BSTs (ext-bst-lf / ext-bst-locks) only offer
+// best-effort scans — the comparison is the point: validated scans at
+// near-baseline cost is the capability this workload family buys.
+//
+// Emits the usual human-readable rows plus extended csv lines
+// (`grep '^csv,rq_mix'`) and PATHCAS_BENCH_JSON objects carrying rq_pct,
+// rq_size, rqs, rq_keys and rq_mops per trial.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+/// rq_mix's extended CSV schema: the standard columns plus RQ ratio/width,
+/// scan rate, scan count and keys returned.
+void printRqCsv(const std::string& experiment, const std::string& algo,
+                const TrialConfig& cfg, const TrialResult& r) {
+  const double rqPerSec =
+      r.elapsedSec > 0.0 ? static_cast<double>(r.rqs) / r.elapsedSec : 0.0;
+  std::printf("csv,%s,%s,%d,%lld,%.0f,%.0f,%lld,%.3f,%.0f,%llu,%llu\n",
+              experiment.c_str(), algo.c_str(), cfg.threads,
+              static_cast<long long>(cfg.keyRange),
+              (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,
+              static_cast<long long>(cfg.rqSize), r.mops, rqPerSec,
+              static_cast<unsigned long long>(r.rqs),
+              static_cast<unsigned long long>(r.rqKeys));
+}
+
+template <typename Adapter>
+void sweepRq(const std::vector<int>& threads, const TrialConfig& base) {
+  sweepThreads<Adapter>("rq_mix", threads, base, printRqCsv);
+}
+
+}  // namespace
+
+int main() {
+  const auto threads = defaultThreads();
+  for (const double rqPct : {10.0, 50.0}) {
+    for (const std::int64_t rqSize : {16LL, 256LL}) {
+      TrialConfig base = withUpdates({}, 10.0);  // 5% insert + 5% delete
+      base.rqFrac = rqPct / 100.0;
+      base.rqSize = rqSize;
+      base.keyRange = scaledKeys(1 << 14, 1 << 16);
+      base.durationMs = scaledDurationMs(80, 2000);
+      printHeader("RQ mix: " + std::to_string(static_cast<int>(rqPct)) +
+                      "% scans of width " + std::to_string(rqSize) +
+                      ", 10% updates, keyrange " +
+                      std::to_string(base.keyRange),
+                  threads);
+      sweepRq<PathCasBstAdapter<false>>(threads, base);
+      sweepRq<PathCasAvlAdapter<false>>(threads, base);
+      sweepRq<SkipListAdapter>(threads, base);
+      sweepRq<AbTreeAdapter>(threads, base);
+      sweepRq<EllenAdapter>(threads, base);
+      sweepRq<TicketAdapter>(threads, base);
+
+      // The list's whole-prefix read set bounds it to small key ranges
+      // (pathcas::kMaxVisited); sweep it in its own regime.
+      TrialConfig listCfg = base;
+      listCfg.keyRange = 256;
+      listCfg.rqSize = std::min<std::int64_t>(rqSize, 64);
+      std::printf("%-22s  (keyrange %lld, width %lld)\n", "list-pathcas:",
+                  static_cast<long long>(listCfg.keyRange),
+                  static_cast<long long>(listCfg.rqSize));
+      sweepRq<ListAdapter>(threads, listCfg);
+    }
+  }
+  return 0;
+}

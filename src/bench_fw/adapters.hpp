@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "recl/ebr.hpp"
 #include "recl/pool.hpp"
@@ -25,6 +27,9 @@
 #include "stm/tm_avl.hpp"
 #include "stm/tm_bst.hpp"
 #include "stm/tm_ext_bst.hpp"
+#include "structs/abtree_pathcas.hpp"
+#include "structs/list_pathcas.hpp"
+#include "structs/skiplist_pathcas.hpp"
 #include "trees/ellen_bst.hpp"
 #include "trees/int_avl_pathcas.hpp"
 #include "trees/int_bst_pathcas.hpp"
@@ -35,6 +40,9 @@ namespace pathcas::testing {
 using Key = std::int64_t;
 using Val = std::int64_t;
 
+/// (key, value) output buffer shared by every adapter's rangeQuery.
+using RqOut = std::vector<std::pair<Key, Val>>;
+
 template <bool UseHtm>
 struct PathCasBstAdapter {
   recl::NodePool<typename ds::IntBstPathCas<Key, Val>::Node> pool;
@@ -44,6 +52,9 @@ struct PathCasBstAdapter {
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return tree.rangeQuery(lo, hi, out);
+  }
   std::uint64_t size() const { return tree.size(); }
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const { tree.checkInvariants(); }
@@ -63,6 +74,9 @@ struct PathCasAvlAdapter {
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return tree.rangeQuery(lo, hi, out);
+  }
   std::uint64_t size() const { return tree.size(); }
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const { tree.checkInvariants(false); }
@@ -82,6 +96,9 @@ struct EllenAdapter {
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return tree.rangeQuery(lo, hi, out);  // best-effort (see EllenBst)
+  }
   std::uint64_t size() const { return tree.size(); }
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const {}
@@ -97,12 +114,71 @@ struct TicketAdapter {
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
   bool contains(Key k) { return tree.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return tree.rangeQuery(lo, hi, out);  // best-effort (see TicketBst)
+  }
   std::uint64_t size() const { return tree.size(); }
   std::int64_t keySum() const { return tree.keySum(); }
   void checkInvariants() const {}
   double avgKeyDepth() const { return tree.avgKeyDepth(); }
   std::uint64_t footprintBytes() const { return tree.poolFootprintBytes(); }
   static std::string name() { return "ext-bst-locks"; }
+};
+
+struct SkipListAdapter {
+  recl::NodePool<typename ds::SkipListPathCas<Key, Val>::Node> pool;
+  ds::SkipListPathCas<Key, Val> list{recl::EbrDomain::instance(), &pool};
+  ~SkipListAdapter() { recl::EbrDomain::instance().drainAll(); }
+  bool insert(Key k, Val v) { return list.insert(k, v); }
+  bool erase(Key k) { return list.erase(k); }
+  bool contains(Key k) { return list.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return list.rangeQuery(lo, hi, out);
+  }
+  std::uint64_t size() const { return list.size(); }
+  std::int64_t keySum() const { return list.keySum(); }
+  void checkInvariants() const { list.checkInvariants(); }
+  double avgKeyDepth() const { return 0.0; }  // not a tree
+  std::uint64_t footprintBytes() const { return pool.footprintBytes(); }
+  static std::string name() { return "skiplist-pathcas"; }
+};
+
+/// NOTE: the list's whole-prefix read sets bound usable key ranges to a few
+/// hundred keys (pathcas::kMaxVisited); benches must use a small keyRange.
+struct ListAdapter {
+  recl::NodePool<typename ds::ListPathCas<Key, Val>::Node> pool;
+  ds::ListPathCas<Key, Val> list{recl::EbrDomain::instance(), &pool};
+  ~ListAdapter() { recl::EbrDomain::instance().drainAll(); }
+  bool insert(Key k, Val v) { return list.insert(k, v); }
+  bool erase(Key k) { return list.erase(k); }
+  bool contains(Key k) { return list.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return list.rangeQuery(lo, hi, out);
+  }
+  std::uint64_t size() const { return list.size(); }
+  std::int64_t keySum() const { return list.keySum(); }
+  void checkInvariants() const {}
+  double avgKeyDepth() const { return 0.0; }  // not a tree
+  std::uint64_t footprintBytes() const { return pool.footprintBytes(); }
+  static std::string name() { return "list-pathcas"; }
+};
+
+struct AbTreeAdapter {
+  recl::NodePool<typename ds::AbTreePathCas<Key, Val>::Node> pool;
+  ds::AbTreePathCas<Key, Val> tree{recl::EbrDomain::instance(), &pool};
+  ~AbTreeAdapter() { recl::EbrDomain::instance().drainAll(); }
+  bool insert(Key k, Val v) { return tree.insert(k, v); }
+  bool erase(Key k) { return tree.erase(k); }
+  bool contains(Key k) { return tree.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return tree.rangeQuery(lo, hi, out);
+  }
+  std::uint64_t size() const { return tree.size(); }
+  std::int64_t keySum() const { return tree.keySum(); }
+  void checkInvariants() const { tree.checkInvariants(); }
+  double avgKeyDepth() const { return 0.0; }  // leaf-oriented; not comparable
+  std::uint64_t footprintBytes() const { return pool.footprintBytes(); }
+  static std::string name() { return "abtree-pathcas"; }
 };
 
 template <typename TM>

@@ -1,10 +1,12 @@
 // Setbench-style benchmark driver (§5 "Our experiments follow the
 // methodology of [9]"): prefill the structure to half its key range with a
 // random key subset, run T threads issuing a uniform mix of
-// insert/delete/contains for a fixed duration, then validate the run with
-// the keysum invariant (sum of successfully inserted keys minus successfully
-// deleted keys must equal the structure's final keysum) before reporting
-// throughput.
+// insert/delete/contains — plus, when cfg.rqFrac > 0, fixed-width range
+// queries (index-scan style) — for a fixed duration, then validate the run
+// with the keysum invariant (sum of successfully inserted keys minus
+// successfully deleted keys must equal the structure's final keysum) before
+// reporting throughput. Operations are counted per category, so RQ-heavy
+// mixes report range-query throughput separately from point ops.
 #pragma once
 
 #include <algorithm>
@@ -14,6 +16,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "recl/ebr.hpp"
@@ -31,6 +34,13 @@ struct TrialConfig {
   std::int64_t keyRange = 1 << 16;
   double insertFrac = 0.05;  // e.g. 10% updates = 5% insert + 5% delete
   double deleteFrac = 0.05;
+  /// Fraction of operations that are range queries (the structure must
+  /// provide rangeQuery); the remainder after insert/delete/rq is contains.
+  double rqFrac = 0.0;
+  /// Width of each range query's key window: [k, k + rqSize - 1]. Must keep
+  /// the scan's examined-node count within pathcas::kMaxVisited (roughly
+  /// rqSize/2 live keys on a half-full range, plus the descent path).
+  std::int64_t rqSize = 64;
   int durationMs = 200;
   std::uint64_t seed = 1;
 };
@@ -42,7 +52,16 @@ struct TrialResult {
   double elapsedSec = 0.0;
   bool keysumOk = false;
   std::uint64_t inserts = 0, deletes = 0, finds = 0;
+  std::uint64_t rqs = 0;      // range queries completed
+  std::uint64_t rqKeys = 0;   // keys returned across all range queries
 };
+
+/// Structures that support the range-query mix (rqFrac > 0).
+template <typename Set>
+concept HasRangeQuery =
+    requires(Set s, std::vector<std::pair<std::int64_t, std::int64_t>> buf) {
+      { s.rangeQuery(std::int64_t{}, std::int64_t{}, buf) };
+    };
 
 /// Benchmark scale, from PATHCAS_BENCH_SCALE ("quick" default, "full" for
 /// paper-scale key ranges and durations).
@@ -84,9 +103,14 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
                      std::int64_t prefillSum) {
   struct alignas(kNoFalseSharing) PerThread {
     std::uint64_t ops = 0, inserts = 0, deletes = 0, finds = 0;
+    std::uint64_t rqs = 0, rqKeys = 0;
     std::int64_t keysumDelta = 0;
     std::uint64_t cycles = 0;
   };
+  if constexpr (!HasRangeQuery<Set>) {
+    PATHCAS_CHECK(cfg.rqFrac == 0.0 &&
+                  "rqFrac > 0 requires a structure with rangeQuery()");
+  }
   std::vector<PerThread> stats(static_cast<std::size_t>(cfg.threads));
   std::atomic<bool> go{false}, stop{false};
   std::atomic<int> ready{0};
@@ -101,6 +125,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       static_cast<std::uint64_t>(cfg.insertFrac * 1e9);
   const std::uint64_t deleteCut =
       insertCut + static_cast<std::uint64_t>(cfg.deleteFrac * 1e9);
+  const std::uint64_t rqCut =
+      deleteCut + static_cast<std::uint64_t>(cfg.rqFrac * 1e9);
 
   std::vector<std::thread> workers;
   for (int t = 0; t < cfg.threads; ++t) {
@@ -108,6 +134,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       ThreadGuard tg;
       Xoshiro256 rng(cfg.seed * 1000003 + static_cast<std::uint64_t>(t));
       PerThread& my = stats[static_cast<std::size_t>(t)];
+      std::vector<std::pair<std::int64_t, std::int64_t>> rqBuf;
+      rqBuf.reserve(static_cast<std::size_t>(cfg.rqSize));
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) cpuRelax();
       const std::uint64_t c0 = rdtsc();
@@ -122,6 +150,13 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
         } else if (dice < deleteCut) {
           if (set.erase(k)) my.keysumDelta -= k;
           ++my.deletes;
+        } else if (dice < rqCut) {
+          if constexpr (HasRangeQuery<Set>) {
+            rqBuf.clear();
+            my.rqKeys += static_cast<std::uint64_t>(
+                set.rangeQuery(k, k + cfg.rqSize - 1, rqBuf));
+            ++my.rqs;
+          }
         } else {
           (void)set.contains(k);
           ++my.finds;
@@ -147,6 +182,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
     r.inserts += s.inserts;
     r.deletes += s.deletes;
     r.finds += s.finds;
+    r.rqs += s.rqs;
+    r.rqKeys += s.rqKeys;
     expected += s.keysumDelta;
     cycles += s.cycles;
   }
@@ -194,16 +231,24 @@ inline void jsonAppendTrial(const std::string& experiment,
                             const TrialResult& r) {
   std::FILE* f = jsonSink();
   if (f == nullptr) return;
+  const double rqMops =
+      r.elapsedSec > 0.0 ? static_cast<double>(r.rqs) / r.elapsedSec / 1e6
+                         : 0.0;
   std::fprintf(
       f,
       "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,"
-      "\"key_range\":%lld,\"update_pct\":%.1f,\"mops\":%.4f,"
-      "\"total_ops\":%llu,\"cycles_per_op\":%llu,\"elapsed_sec\":%.4f,"
+      "\"key_range\":%lld,\"update_pct\":%.1f,\"rq_pct\":%.1f,"
+      "\"rq_size\":%lld,\"mops\":%.4f,\"rq_mops\":%.4f,"
+      "\"total_ops\":%llu,\"rqs\":%llu,\"rq_keys\":%llu,"
+      "\"cycles_per_op\":%llu,\"elapsed_sec\":%.4f,"
       "\"keysum_ok\":%s}\n",
       experiment.c_str(), algo.c_str(), cfg.threads,
       static_cast<long long>(cfg.keyRange),
-      (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
+      (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,
+      static_cast<long long>(cfg.rqSize), r.mops, rqMops,
       static_cast<unsigned long long>(r.totalOps),
+      static_cast<unsigned long long>(r.rqs),
+      static_cast<unsigned long long>(r.rqKeys),
       static_cast<unsigned long long>(r.cyclesPerOp), r.elapsedSec,
       r.keysumOk ? "true" : "false");
   std::fflush(f);

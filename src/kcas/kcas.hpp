@@ -125,6 +125,26 @@ class KcasDomain {
     st.numPath = 0;
   }
 
+  /// True iff the staged operation can never pass validation no matter how
+  /// many times it is replayed: a visited version was already marked when it
+  /// was recorded, or a staged version-word entry expects a marked old value
+  /// (no legitimate operation stages one — marking is always old-unmarked →
+  /// new-marked). The strong path (§3.5) skips validation entirely, so its
+  /// callers must reject such operations as genuine failures first;
+  /// otherwise a ⟨ver, v, v⟩ lock on a marked version would "validate" a
+  /// node that was already unlinked.
+  bool stagedMarkDoomed() {
+    Staging& st = staging();
+    for (int i = 0; i < st.numPath; ++i) {
+      if (decodeVal(st.path[i].expectedEnc) & 1) return true;
+    }
+    for (int i = 0; i < st.numEntries; ++i) {
+      if (st.entries[i].isVersionWord && (decodeVal(st.entries[i].oldEnc) & 1))
+        return true;
+    }
+    return false;
+  }
+
   /// True iff some staged path word currently holds a descriptor reference
   /// (i.e. the last validation failure may have been spurious, §3.5).
   bool pathBlockedByDescriptor() {

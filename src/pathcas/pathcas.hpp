@@ -10,6 +10,17 @@
 //   pathcas::addVer(parent->ver, v, v + 2);       // version increment
 //   if (pathcas::vexec()) return true;            // atomic iff path unchanged
 //
+// Read-only multi-node snapshot (a range scan):
+//
+//   pathcas::start();
+//   ... traverse, visit every node examined, collect matching keys ...
+//   if (pathcas::validateVisited()) return keys;  // atomic snapshot
+//   ... else discard and re-traverse ...
+//
+// validateVisited() is vexec without the writes: bounded optimistic retries,
+// then the §3.5 strong path over the visited set, so scans inherit P1's
+// no-spurious-failure guarantee. The visited set is bounded by kMaxVisited.
+//
 // Version-number convention (§3.3): every node carries a
 // casword<std::uint64_t> named `ver`; bit 0 is the mark bit. Live updates
 // increment by 2; unlink+mark adds 1 (kVerMark helpers below).
@@ -105,6 +116,12 @@ Version visit(Node* n) {
 /// operation).
 inline bool validate() { return domain().validateStaged(); }
 
+/// Capacity of one operation's visited set. Traversals that would visit more
+/// nodes (e.g. a range scan wider than ~kMaxVisited keys, or a full walk of
+/// a list longer than that) are out of contract, exactly as in the paper's
+/// footnote 2: bound the scan, or over-allocate the domain.
+inline constexpr int kMaxVisited = k::DefaultDomain::kMaxPath;
+
 namespace policy {
 /// Bounded retries for spuriously-failed vexec before the strong slow path.
 inline constexpr int kVexecRetries = 3;
@@ -155,11 +172,42 @@ inline bool vexecImpl(bool fast) {
       return false;
     backoff.pause();
   }
+  // A marked visited version can never validate; the strong path below
+  // skips validation, so committing would link into an unlinked node.
+  if (domain().stagedMarkDoomed()) return false;
   // Strong vexec (§3.5): promote all visited ⟨node,ver⟩ pairs to
   // ⟨node.ver, v, v⟩ entries and run a plain exec, locking the versions of
   // every visited node instead of validating them. Sorting (inside execute)
   // restores lock-freedom's global order; duplicates with real entries are
   // dropped in favour of the real entry.
+  domain().promotePathToEntries();
+  return executeOnce(/*withValidation=*/false, fast) ==
+         k::ExecResult::kSucceeded;
+}
+
+/// Read-only counterpart of vexecImpl for operations with no staged entries
+/// (range scans): establish that the visited set was atomic, without
+/// modifying anything. Optimistic validation with bounded retries; if every
+/// failure was spurious (a visited node merely held a descriptor), fall back
+/// to the §3.5 strong path — promote the path to ⟨ver, v, v⟩ entries and run
+/// a plain exec, which momentarily locks every visited version at its
+/// observed value. Success proves all visited versions held simultaneously
+/// at the exec's linearization point, so scans cannot starve behind a stream
+/// of spurious conflicts. `fast` must match the structure's update mode
+/// (HTM-fast-path structures must serialize the fallback on the htm global
+/// lock, like their updates do).
+inline bool validateVisitedImpl(bool fast) {
+  Backoff backoff;
+  for (int attempt = 0; attempt <= policy::kVexecRetries; ++attempt) {
+    if (domain().validateStaged()) return true;
+    // Genuine failure (a visited version changed or was marked): the caller
+    // must re-traverse. Note the descriptor probe races the validation — a
+    // blocking descriptor may resolve in between, in which case we return a
+    // conservative false and the caller retries; never a false positive.
+    if (!domain().pathBlockedByDescriptor()) return false;
+    backoff.pause();
+  }
+  if (domain().stagedMarkDoomed()) return false;
   domain().promotePathToEntries();
   return executeOnce(/*withValidation=*/false, fast) ==
          k::ExecResult::kSucceeded;
@@ -178,6 +226,16 @@ inline bool exec() {
 /// strong slow path, guaranteeing property P1 (§3.5).
 inline bool vexec() { return detail_exec::vexecImpl(false); }
 
+/// validateVisited(): vexec's read-only sibling, for operations that stage
+/// no entries (range scans, multi-key reads). Returns true iff the visited
+/// set formed an atomic snapshot: optimistic validate with bounded retries,
+/// then the §3.5 strong path (lock every visited version at its observed
+/// value via a plain exec), so scans cannot starve on spurious conflicts.
+/// False means a visited node genuinely changed — re-traverse and retry.
+/// Note: consumes the staged operation (the strong path may rewrite the
+/// staging area); call start() before the next traversal, as usual.
+inline bool validateVisited() { return detail_exec::validateVisitedImpl(false); }
+
 /// Fast-path variants used by the *-pathcas+ data structures: an HTM (or
 /// emulated-HTM) transaction attempts the whole operation first.
 inline bool execFast() {
@@ -185,6 +243,9 @@ inline bool execFast() {
   return detail_exec::executeOnce(false, true) == k::ExecResult::kSucceeded;
 }
 inline bool vexecFast() { return detail_exec::vexecImpl(true); }
+inline bool validateVisitedFast() {
+  return detail_exec::validateVisitedImpl(true);
+}
 
 namespace fastpath {
 

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
@@ -79,6 +81,28 @@ class AbTreePathCas {
       if (i >= 0 && !isMarked(d.leafVer))
         return d.leaf->vals[static_cast<std::size_t>(i)];
       if (validate()) return std::nullopt;
+    }
+  }
+
+  /// Linearizable range query: append every (key, value) pair with
+  /// lo <= key <= hi to `out` in ascending key order; returns the number
+  /// appended. Walks the subtrees overlapping the range, visiting every node
+  /// examined, and revalidates the visited set (optimistic, then the §3.5
+  /// strong path). Leaf content is immutable (copy-on-write updates), so the
+  /// visited versions pin both routing and payload. Bounded by
+  /// pathcas::kMaxVisited examined nodes (footnote 2).
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(hi < kPosInf);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    for (;;) {
+      start();
+      bool torn = false;
+      visit(entry_);  // pins the root child pointer
+      collectRange(entry_->children[0].load(), lo, hi, out, torn);
+      if (!torn && validateVisited()) return out.size() - base;
+      out.resize(base);  // torn attempt: discard and re-traverse
     }
   }
 
@@ -194,6 +218,35 @@ class AbTreePathCas {
     int i = 0;
     while (i < n->count && key >= n->keys[static_cast<std::size_t>(i)]) ++i;
     return i;
+  }
+
+  /// Left-to-right walk of the subtrees intersecting [lo, hi], visiting
+  /// every node examined. Child i of an internal node covers keys in
+  /// [keys[i-1], keys[i]) (unbounded at the edges). Leaf keys are sorted, so
+  /// appending in walk order yields ascending output.
+  void collectRange(Node* n, K lo, K hi, std::vector<std::pair<K, V>>& out,
+                    bool& torn) {
+    if (n == nullptr) {  // racing replacement: torn read
+      torn = true;
+      return;
+    }
+    visit(n);
+    if (n->leaf) {
+      for (int i = 0; i < n->count; ++i) {
+        const K k = n->keys[static_cast<std::size_t>(i)];
+        if (k >= lo && k <= hi) out.emplace_back(k, n->vals[static_cast<std::size_t>(i)]);
+      }
+      return;
+    }
+    for (int i = 0; i <= n->count && !torn; ++i) {
+      const bool chiAboveLo =
+          (i == n->count) || (n->keys[static_cast<std::size_t>(i)] > lo);
+      const bool cloBelowHi =
+          (i == 0) || (n->keys[static_cast<std::size_t>(i - 1)] <= hi);
+      if (chiAboveLo && cloBelowHi)
+        collectRange(n->children[static_cast<std::size_t>(i)].load(), lo, hi,
+                     out, torn);
+    }
   }
   static int indexOfKey(Node* leaf, K key) {
     for (int i = 0; i < leaf->count; ++i) {

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
@@ -123,6 +125,33 @@ class ListPathCas {
       const Pos pos = find(key);
       if (pos.found) return pos.curr->val.load();
       if (validate()) return std::nullopt;
+    }
+  }
+
+  /// Linearizable range query: append every (key, value) pair with
+  /// lo <= key <= hi to `out` in ascending key order; returns the number
+  /// appended. The traversal visits every node up to the end of the range
+  /// and revalidates the visited set (optimistic, then the §3.5 strong
+  /// path). The usual list read-set bound applies: the scan visits the whole
+  /// prefix of the list, which must fit in pathcas::kMaxVisited.
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(lo > kNegInf && hi < kPosInf);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    for (;;) {
+      start();
+      const Pos pos = find(lo);  // visits head..curr; curr = first key >= lo
+      Node* c = pos.curr;
+      for (;;) {
+        const K k = c->key;
+        if (k > hi) break;  // tail_ (kPosInf) always stops the walk
+        out.emplace_back(k, c->val.load());
+        c = c->next;
+        visit(c);
+      }
+      if (validateVisited()) return out.size() - base;
+      out.resize(base);  // torn attempt: discard and re-traverse
     }
   }
 

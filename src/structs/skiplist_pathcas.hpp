@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
@@ -83,6 +85,42 @@ class SkipListPathCas {
       searchTo(key, f);
       if (f.found) return f.node->val.load();
       if (validate()) return std::nullopt;
+    }
+  }
+
+  /// Linearizable range query: append every (key, value) pair with
+  /// lo <= key <= hi to `out` in ascending key order; returns the number
+  /// appended. A tower search to `lo` (visiting every node inspected) is
+  /// followed by a bottom-level walk through the range, visiting each node
+  /// crossed; the whole visited set is then revalidated — optimistic with
+  /// bounded retries, strong §3.5 fallback — so a validated scan is an
+  /// atomic snapshot of the range. Bounded by pathcas::kMaxVisited examined
+  /// nodes (footnote 2).
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(lo > kNegInf && hi < kPosInf);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    for (;;) {
+      start();
+      Found f;
+      searchTo(lo, f);
+      Node* c = f.succ[0];  // first node with key >= lo (already visited)
+      bool torn = (c == nullptr);
+      while (!torn && c != tail_) {
+        const K k = c->key;
+        if (k > hi) break;
+        out.emplace_back(k, c->val.load());
+        Node* next = c->next[0];
+        if (next == nullptr) {  // racing unlink: torn read
+          torn = true;
+          break;
+        }
+        visit(next);
+        c = next;
+      }
+      if (!torn && validateVisited()) return out.size() - base;
+      out.resize(base);  // torn attempt: discard and re-traverse
     }
   }
 

@@ -19,6 +19,8 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "recl/ebr.hpp"
 #include "recl/pool.hpp"
@@ -150,6 +152,22 @@ class EllenBst {
         infoPool_.destroy(op);  // flag CAS failed: never published
       }
     }
+  }
+
+  /// Best-effort range scan: append the (key, value) pairs with
+  /// lo <= key <= hi observed during ONE traversal, in ascending key order;
+  /// returns the number appended. NOT an atomic snapshot — the helping
+  /// protocol gives per-key linearizability only, so a scan racing updates
+  /// may mix states (the usual limitation of hand-crafted lock-free BSTs
+  /// without versioned snapshots). Included for benchmark comparability with
+  /// the validated PathCAS scans; quiescent scans are exact.
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(hi < kInf1);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    collectRange(root_, lo, hi, out);
+    return out.size() - base;
   }
 
   std::uint64_t size() const {
@@ -298,6 +316,22 @@ class EllenBst {
     }
     depthWalk(n->left.load(), depth + 1, depthSum, keys, nodes);
     depthWalk(n->right.load(), depth + 1, depthSum, keys, nodes);
+  }
+
+  /// Internal node with key k routes keys < k left, >= k right; sentinel
+  /// leaves (>= kInf1) are excluded from results.
+  void collectRange(Node* n, K lo, K hi,
+                    std::vector<std::pair<K, V>>& out) const {
+    if (n == nullptr) return;
+    if (n->leaf) {
+      if (n->key >= lo && n->key <= hi && n->key < kInf1)
+        out.emplace_back(n->key, n->val);
+      return;
+    }
+    if (lo < n->key)
+      collectRange(n->left.load(std::memory_order_acquire), lo, hi, out);
+    if (hi >= n->key)
+      collectRange(n->right.load(std::memory_order_acquire), lo, hi, out);
   }
 
   void countLeaves(Node* n, std::uint64_t& acc) const {

@@ -16,6 +16,8 @@
 #include <functional>
 #include <limits>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
@@ -89,6 +91,26 @@ class IntAvlPathCas {
       if (s.found && (opt_.reduceValidation || validate()))
         return s.curr->val.load();
       if (!s.found && validate()) return std::nullopt;
+    }
+  }
+
+  /// Linearizable range query (see IntBstPathCas::rangeQuery): append every
+  /// (key, value) pair with lo <= key <= hi to `out` in ascending key order;
+  /// returns the number appended. Rotations retarget pointers of visited
+  /// nodes only with a version bump (the normalization rule above), so a
+  /// validated scan is an atomic snapshot even while rebalancing runs.
+  /// Bounded by pathcas::kMaxVisited examined nodes (footnote 2).
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(lo > kNegInf && hi < kPosInf);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    for (;;) {
+      start();
+      visit(minRoot_);  // pins the root pointer (minRoot_->right)
+      collectRange(minRoot_->right.load(), lo, hi, out);
+      if (vval()) return out.size() - base;
+      out.resize(base);  // torn attempt: discard and re-traverse
     }
   }
 
@@ -295,10 +317,24 @@ class IntAvlPathCas {
   }
 
   bool vex() { return opt_.useHtmFastPath ? vexecFast() : vexec(); }
+  bool vval() {
+    return opt_.useHtmFastPath ? validateVisitedFast() : validateVisited();
+  }
   bool execOrVex() {
     if (opt_.reduceValidation)
       return opt_.useHtmFastPath ? execFast() : pathcas::exec();
     return vex();
+  }
+
+  /// In-order walk of the subtrees overlapping [lo, hi], visiting every node
+  /// examined; collected pairs are only meaningful if validation succeeds.
+  void collectRange(Node* n, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    if (n == nullptr) return;
+    visit(n);
+    const K k = n->key.load();
+    if (k > lo) collectRange(n->left.load(), lo, hi, out);
+    if (k >= lo && k <= hi) out.emplace_back(k, n->val.load());
+    if (k < hi) collectRange(n->right.load(), lo, hi, out);
   }
 
   static std::int64_t heightOf(Node* n) {

@@ -17,6 +17,8 @@
 #include <functional>
 #include <limits>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "pathcas/pathcas.hpp"
 #include "recl/ebr.hpp"
@@ -111,6 +113,28 @@ class IntBstPathCas {
       if (s.found && (opt_.reduceValidation || validate()))
         return s.curr->val.load();
       if (!s.found && validate()) return std::nullopt;
+    }
+  }
+
+  /// Linearizable range query: append every (key, value) pair with
+  /// lo <= key <= hi to `out`, in ascending key order; returns the number of
+  /// pairs appended. The traversal visits every node it examines (the same
+  /// ⟨node, version⟩ recording a vexec path uses), then revalidates the whole
+  /// visited set: optimistic with bounded retries, escalating to the §3.5
+  /// strong path, so scans cannot starve on spurious conflicts. Scans that
+  /// would examine more than pathcas::kMaxVisited nodes are out of contract
+  /// (footnote 2) — bound the range accordingly.
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(lo > kNegInf && hi < kPosInf);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    for (;;) {
+      start();
+      visit(minRoot_);  // pins the root pointer (minRoot_->right)
+      collectRange(minRoot_->right.load(), lo, hi, out);
+      if (vval()) return out.size() - base;
+      out.resize(base);  // torn attempt: discard and re-traverse
     }
   }
 
@@ -294,12 +318,26 @@ class IntBstPathCas {
   }
 
   bool vex() { return opt_.useHtmFastPath ? vexecFast() : vexec(); }
+  bool vval() {
+    return opt_.useHtmFastPath ? validateVisitedFast() : validateVisited();
+  }
   /// §4.1: leaf/one-child deletions need no path validation — the entries
   /// themselves pin parent and curr.
   bool execOrVex() {
     if (opt_.reduceValidation)
       return opt_.useHtmFastPath ? execFast() : pathcas::exec();
     return vex();
+  }
+
+  /// In-order walk of the subtrees overlapping [lo, hi], visiting every node
+  /// examined; collected pairs are only meaningful if validation succeeds.
+  void collectRange(Node* n, K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    if (n == nullptr) return;
+    visit(n);
+    const K k = n->key.load();
+    if (k > lo) collectRange(n->left.load(), lo, hi, out);
+    if (k >= lo && k <= hi) out.emplace_back(k, n->val.load());
+    if (k < hi) collectRange(n->right.load(), lo, hi, out);
   }
 
   void walk(Node* n, K lo, K hi, std::uint64_t depth, TreeStats& stats,

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <utility>
+#include <vector>
 
 #include "recl/ebr.hpp"
 #include "recl/pool.hpp"
@@ -57,6 +59,22 @@ class TicketBst {
                          : l->right.load(std::memory_order_acquire);
     }
     return l->key == key;
+  }
+
+  /// Best-effort range scan: append the (key, value) pairs with
+  /// lo <= key <= hi observed during ONE wait-free traversal, in ascending
+  /// key order; returns the number appended. NOT an atomic snapshot — a scan
+  /// racing updates may miss keys moved across the frontier or report a mix
+  /// of states, as is typical for hand-crafted external BSTs without a
+  /// snapshot mechanism. Included for benchmark comparability with the
+  /// validated PathCAS scans; quiescent scans are exact.
+  std::size_t rangeQuery(K lo, K hi, std::vector<std::pair<K, V>>& out) {
+    PATHCAS_DCHECK(hi < kInf1);
+    if (lo > hi) return 0;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    collectRange(root_, lo, hi, out);
+    return out.size() - base;
   }
 
   bool insert(K key, V val) {
@@ -173,6 +191,20 @@ class TicketBst {
     }
     depthWalk(n->left.load(), depth + 1, depthSum, keys, nodes);
     depthWalk(n->right.load(), depth + 1, depthSum, keys, nodes);
+  }
+
+  /// Internal node with key k routes keys < k left, >= k right; sentinel
+  /// leaves (>= kInf1) are excluded from results.
+  void collectRange(Node* n, K lo, K hi,
+                    std::vector<std::pair<K, V>>& out) const {
+    if (n == nullptr) return;
+    if (n->leaf) {
+      if (n->key >= lo && n->key <= hi && n->key < kInf1)
+        out.emplace_back(n->key, n->val);
+      return;
+    }
+    if (lo < n->key) collectRange(n->left.load(std::memory_order_acquire), lo, hi, out);
+    if (hi >= n->key) collectRange(n->right.load(std::memory_order_acquire), lo, hi, out);
   }
 
   void countLeaves(Node* n, std::uint64_t& acc) const {

@@ -1,0 +1,160 @@
+// A small-history linearizability checker for concurrent set histories with
+// range queries, designed around the window discipline the RQ stress tests
+// use:
+//
+//   * Worker threads run in barrier-separated ROUNDS: within a round every
+//     thread performs exactly one operation (genuinely racing the others);
+//     no thread starts round r+1 before all of round r's responses. Rounds
+//     therefore form totally-ordered windows, and checking the whole history
+//     reduces to checking one window at a time while threading the set of
+//     still-possible abstract states across windows.
+//   * Within a window, operations carry invocation/response timestamps drawn
+//     from one global atomic counter; op A really-precedes op B iff
+//     A.res < B.inv. (Timestamps under-approximate real-time order at worst,
+//     which only ever ADMITS more interleavings — the checker stays sound:
+//     it never reports a violation for a linearizable history.)
+//   * The per-window check is the classic exhaustive search (Wing & Gong):
+//     DFS over linearization orders respecting really-precedes, replaying
+//     each candidate prefix against the abstract set and pruning on any
+//     result mismatch. Windows are tiny (one op per thread), so the
+//     factorial worst case is a handful of permutations.
+//
+// Abstract states are 64-bit membership masks, so key spaces are limited to
+// [0, 64) — plenty for a checker whose power comes from contention on a tiny
+// key space, and small enough to memoize (mask, state) pairs.
+//
+// A history passes iff after every window at least one abstract state
+// remains possible. On failure the caller gets the offending window for
+// diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pathcas::testing {
+
+enum class OpKind { kInsert, kErase, kContains, kRangeQuery };
+
+/// One completed operation, as recorded by a stress-test worker.
+struct RecordedOp {
+  OpKind kind = OpKind::kContains;
+  std::int64_t a = 0;  // key (point ops) or range lower bound
+  std::int64_t b = 0;  // range upper bound (range queries only)
+  bool boolResult = false;                 // point ops
+  std::vector<std::int64_t> keysResult;    // range queries: keys returned
+  std::uint64_t inv = 0, res = 0;          // global-clock timestamps
+};
+
+/// Abstract set over keys [0, 64): bit k set <=> key k present.
+using LinState = std::uint64_t;
+
+namespace lin_detail {
+
+/// Replay `op` against `state`. Returns false if the recorded result is
+/// impossible from `state`; otherwise advances `state`.
+inline bool applyOp(const RecordedOp& op, LinState& state) {
+  const LinState bit = LinState{1} << op.a;
+  switch (op.kind) {
+    case OpKind::kInsert: {
+      const bool expected = (state & bit) == 0;
+      if (op.boolResult != expected) return false;
+      state |= bit;
+      return true;
+    }
+    case OpKind::kErase: {
+      const bool expected = (state & bit) != 0;
+      if (op.boolResult != expected) return false;
+      state &= ~bit;
+      return true;
+    }
+    case OpKind::kContains:
+      return op.boolResult == ((state & bit) != 0);
+    case OpKind::kRangeQuery: {
+      std::size_t j = 0;
+      for (std::int64_t k = op.a; k <= op.b; ++k) {
+        if (state & (LinState{1} << k)) {
+          if (j >= op.keysResult.size() || op.keysResult[j] != k) return false;
+          ++j;
+        }
+      }
+      return j == op.keysResult.size();
+    }
+  }
+  return false;  // unreachable
+}
+
+inline void dfs(const std::vector<RecordedOp>& ops, std::uint32_t mask,
+                LinState state, std::set<std::pair<std::uint32_t, LinState>>& seen,
+                std::set<LinState>& out) {
+  const std::uint32_t full = (1u << ops.size()) - 1;
+  if (mask == full) {
+    out.insert(state);
+    return;
+  }
+  if (!seen.insert({mask, state}).second) return;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (mask & (1u << i)) continue;
+    // ops[i] may linearize next only if no other pending op really-precedes
+    // it (responded before ops[i] was invoked).
+    bool blocked = false;
+    for (std::size_t j = 0; j < ops.size() && !blocked; ++j) {
+      if (j == i || (mask & (1u << j))) continue;
+      blocked = ops[j].res < ops[i].inv;
+    }
+    if (blocked) continue;
+    LinState next = state;
+    if (applyOp(ops[i], next)) dfs(ops, mask | (1u << i), next, seen, out);
+  }
+}
+
+}  // namespace lin_detail
+
+/// Check one window of concurrent operations against every still-possible
+/// pre-state; returns the set of possible post-states (empty = the history
+/// is NOT linearizable up to and including this window).
+inline std::set<LinState> linearizeWindow(const std::vector<RecordedOp>& ops,
+                                          const std::set<LinState>& preStates) {
+  std::set<LinState> post;
+  for (const LinState pre : preStates) {
+    std::set<std::pair<std::uint32_t, LinState>> seen;
+    lin_detail::dfs(ops, 0, pre, seen, post);
+  }
+  return post;
+}
+
+/// Human-readable dump of a window, for failure diagnostics.
+inline std::string describeWindow(const std::vector<RecordedOp>& ops) {
+  std::string s;
+  for (const RecordedOp& op : ops) {
+    switch (op.kind) {
+      case OpKind::kInsert:
+        s += "insert(" + std::to_string(op.a) + ")=" +
+             (op.boolResult ? "T" : "F");
+        break;
+      case OpKind::kErase:
+        s += "erase(" + std::to_string(op.a) + ")=" +
+             (op.boolResult ? "T" : "F");
+        break;
+      case OpKind::kContains:
+        s += "contains(" + std::to_string(op.a) + ")=" +
+             (op.boolResult ? "T" : "F");
+        break;
+      case OpKind::kRangeQuery: {
+        s += "rq(" + std::to_string(op.a) + "," + std::to_string(op.b) + ")={";
+        for (std::size_t i = 0; i < op.keysResult.size(); ++i) {
+          if (i) s += ",";
+          s += std::to_string(op.keysResult[i]);
+        }
+        s += "}";
+        break;
+      }
+    }
+    s += " [" + std::to_string(op.inv) + "," + std::to_string(op.res) + "]  ";
+  }
+  return s;
+}
+
+}  // namespace pathcas::testing

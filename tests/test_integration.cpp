@@ -23,10 +23,15 @@ namespace pathcas {
 namespace {
 
 TEST(Integration, TreeChurnReclaimsEverything) {
+  // Dedicated pool AND domain (pool first: it must outlive the domain's
+  // limbo records naming it): with the process-global defaultPool the
+  // reclamation counters would mix in other suites' churn whenever tests
+  // share a process, making the exact-accounting assertions below flaky.
+  recl::NodePool<ds::IntBstPathCas<>::Node> pool;
   recl::EbrDomain domain;  // private domain so counts are exact
   const auto retired0 = domain.retiredCount();
   {
-    ds::IntBstPathCas<> tree(ds::IntBstOptions{}, domain);
+    ds::IntBstPathCas<> tree(ds::IntBstOptions{}, domain, &pool);
     Xoshiro256 rng(1);
     for (int i = 0; i < 30000; ++i) {
       const auto k = static_cast<std::int64_t>(rng.nextBounded(256));
@@ -41,6 +46,9 @@ TEST(Integration, TreeChurnReclaimsEverything) {
   domain.drainAll();
   EXPECT_EQ(domain.freedCount(), domain.retiredCount());
   EXPECT_GT(domain.retiredCount(), retired0);  // deletions actually retired
+  // Every retire was recycled into OUR pool, and nothing is still live.
+  EXPECT_GE(pool.stats().recycled, domain.freedCount());
+  EXPECT_EQ(pool.liveCount(), 0u);
 }
 
 class AbortInjectionSweep : public ::testing::TestWithParam<double> {};

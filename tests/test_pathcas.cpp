@@ -176,6 +176,154 @@ TEST(PathCas, MarkingUnlinkPattern) {
 }
 
 // ---------------------------------------------------------------------------
+// validateVisited(): the read-only sibling of vexec (range scans).
+// ---------------------------------------------------------------------------
+
+TEST(ValidateVisited, SucceedsOnQuietPath) {
+  TNode a, b;
+  start();
+  visit(&a);
+  visit(&b);
+  EXPECT_TRUE(validateVisited());
+}
+
+TEST(ValidateVisited, FailsGenuinelyWhenVisitedNodeChanged) {
+  TNode a, b;
+  start();
+  visit(&a);
+  visit(&b);
+  b.ver.setInitial(2);  // someone changed b after our visit
+  EXPECT_FALSE(validateVisited());
+}
+
+TEST(ValidateVisited, FailsOnVisitedMarkedNode) {
+  // A node already marked when visited can never validate — and must be
+  // rejected even via the strong path (which skips validation).
+  TNode a;
+  a.ver.setInitial(verMark(0));
+  start();
+  visit(&a);
+  EXPECT_FALSE(validateVisited());
+}
+
+// ---------------------------------------------------------------------------
+// The §3.5 spurious-failure path: a visited node held by an in-flight KCAS
+// descriptor must cause bounded retries and then strong-path resolution —
+// never a false conflict report.
+// ---------------------------------------------------------------------------
+
+// Install a fabricated KCAS descriptor reference on `w`'s underlying word.
+// The (tid, seq) pair is deliberately stale (no descriptor ever reaches this
+// sequence number), so helpers that chase it read a mismatched sequence and
+// treat the operation as completed — exactly how a long-gone-but-still-
+// installed lock looks to validation. Returns the displaced word.
+k::word_t installStaleDescriptor(casword<Version>& w) {
+  const k::word_t ref = k::packRef(k::kTagKcas, /*tid=*/0, /*seq=*/1ULL << 40);
+  const k::word_t saved = w.addr()->load(std::memory_order_acquire);
+  w.addr()->store(ref, std::memory_order_release);
+  return saved;
+}
+
+TEST(StrongPath, VexecRetriesThenSucceedsViaStrongPathNotFalseConflict) {
+  TNode visited, target;
+  target.val.setInitial(1);
+  std::atomic<bool> staged{false}, installed{false};
+  bool result = false;
+  bool promoted = false;
+  std::thread worker([&] {
+    ThreadGuard tg;
+    start();
+    visitVer(visited.ver);
+    add(target.val, std::int64_t{1}, std::int64_t{2});
+    staged.store(true, std::memory_order_release);
+    while (!installed.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    // The descriptor parks on visited.ver: every optimistic validation now
+    // fails spuriously. vexec must retry, escalate to the strong path, spin
+    // there helping the (stale) blocker, and succeed once it clears — NOT
+    // report a conflict for an operation nothing genuinely invalidated.
+    result = vexec();
+    // Strong-path fingerprint: the visited path was promoted to entries
+    // (⟨visited.ver, v, v⟩ joins ⟨target.val, 1, 2⟩) and the path cleared.
+    promoted =
+        domain().numStagedPath() == 0 && domain().numStagedEntries() == 2;
+  });
+  while (!staged.load(std::memory_order_acquire)) std::this_thread::yield();
+  const k::word_t saved = installStaleDescriptor(visited.ver);
+  installed.store(true, std::memory_order_release);
+  // Long enough for kVexecRetries optimistic replays to exhaust and the
+  // strong path to be spinning on the descriptor.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  visited.ver.addr()->store(saved, std::memory_order_release);
+  worker.join();
+  EXPECT_TRUE(result);
+  EXPECT_TRUE(promoted);
+  EXPECT_EQ(target.val.load(), 2);
+  EXPECT_EQ(visited.ver.load(), 0u);  // strong path locks v -> v: no change
+}
+
+TEST(StrongPath, ValidateVisitedResolvesDescriptorBlockViaStrongPath) {
+  // Same scenario for the read-only path: a scan whose visited set is
+  // blocked by a descriptor must not starve — validateVisited escalates to
+  // the strong path and confirms the snapshot once the blocker clears.
+  TNode visited, other;
+  std::atomic<bool> staged{false}, installed{false};
+  bool result = false;
+  std::thread worker([&] {
+    ThreadGuard tg;
+    start();
+    visitVer(visited.ver);
+    visitVer(other.ver);
+    staged.store(true, std::memory_order_release);
+    while (!installed.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    result = validateVisited();
+  });
+  while (!staged.load(std::memory_order_acquire)) std::this_thread::yield();
+  const k::word_t saved = installStaleDescriptor(visited.ver);
+  installed.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  visited.ver.addr()->store(saved, std::memory_order_release);
+  worker.join();
+  EXPECT_TRUE(result);
+  EXPECT_EQ(visited.ver.load(), 0u);
+  EXPECT_EQ(other.ver.load(), 0u);
+}
+
+TEST(StrongPath, MarkedVisitedNodePlusDescriptorIsGenuineFailure) {
+  // Regression for the promote-over-mark hazard: one visited node is
+  // already marked (genuine conflict) while ANOTHER visited node holds a
+  // descriptor (spurious symptom). The retry loop sees the descriptor and
+  // would escalate — but the strong path skips validation, so without the
+  // stagedMarkDoomed() guard it would happily lock the marked version at
+  // its marked value and commit an update against an unlinked node.
+  TNode markedNode, blockedNode, target;
+  markedNode.ver.setInitial(verMark(0));
+  target.val.setInitial(5);
+  std::atomic<bool> staged{false}, installed{false};
+  bool result = true;
+  std::thread worker([&] {
+    ThreadGuard tg;
+    start();
+    visitVer(markedNode.ver);  // records an already-marked version
+    visitVer(blockedNode.ver);
+    add(target.val, std::int64_t{5}, std::int64_t{6});
+    staged.store(true, std::memory_order_release);
+    while (!installed.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    result = vexec();
+  });
+  while (!staged.load(std::memory_order_acquire)) std::this_thread::yield();
+  const k::word_t saved = installStaleDescriptor(blockedNode.ver);
+  installed.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  blockedNode.ver.addr()->store(saved, std::memory_order_release);
+  worker.join();
+  EXPECT_FALSE(result);                 // genuine failure, not a commit
+  EXPECT_EQ(target.val.load(), 5);      // nothing was written
+}
+
+// ---------------------------------------------------------------------------
 // HTM fast path (emulated backend).
 // ---------------------------------------------------------------------------
 

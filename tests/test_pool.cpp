@@ -179,10 +179,18 @@ TEST(Pool, DrainUnderQuiescenceReleasesAllFreeMemory) {
 // pool: over many EBR epochs, retired nodes must be recycled back into
 // allocations (recycle counter grows) and the pool's footprint must stay
 // bounded by the working set, not grow with the operation count.
+//
+// Hermeticity matters here: every counter asserted below belongs to THIS
+// test's pool and domain — never to the process-global defaultPool<> /
+// EbrDomain::instance() — so the exact-accounting assertions hold no matter
+// which other suites share the process (in-process ctest shards, combined
+// binaries). The ASSERTs at the top pin that baseline.
 TEST(PoolChurn, RetiredMemoryIsRecycledNotLeaked) {
   using Tree = ds::IntBstPathCas<std::int64_t, std::int64_t>;
   NodePool<Tree::Node> pool;  // declared before the domain: outlives limbo
   EbrDomain domain;
+  ASSERT_EQ(pool.stats().fresh + pool.stats().reused, 0u);
+  ASSERT_EQ(domain.retiredCount(), 0u);
   {
     Tree tree({}, domain, &pool);
     constexpr int kThreads = 4;

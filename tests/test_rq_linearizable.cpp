@@ -1,0 +1,248 @@
+// Linearizability stress for validated range queries (tests/lin_check.hpp):
+// worker threads hammer a tiny key space with racing insert/erase/contains/
+// rangeQuery in barrier-separated rounds, recording timestamped results; the
+// checker then verifies that EVERY window admits a sequential interleaving —
+// in particular that every range-query result is consistent with some
+// instantaneous abstract set, which is exactly the atomic-snapshot guarantee
+// rangeQuery claims. Runs against all five PathCAS ordered structures.
+//
+// Also contains direct unit tests of the checker itself (it must accept
+// known-linearizable windows and reject known-broken ones — a checker that
+// accepts everything would make the stress vacuous).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lin_check.hpp"
+#include "structs/abtree_pathcas.hpp"
+#include "structs/list_pathcas.hpp"
+#include "structs/skiplist_pathcas.hpp"
+#include "trees/int_avl_pathcas.hpp"
+#include "trees/int_bst_pathcas.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::testing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Checker self-tests.
+// ---------------------------------------------------------------------------
+
+RecordedOp op(OpKind kind, std::int64_t a, bool result, std::uint64_t inv,
+              std::uint64_t res) {
+  RecordedOp o;
+  o.kind = kind;
+  o.a = a;
+  o.boolResult = result;
+  o.inv = inv;
+  o.res = res;
+  return o;
+}
+
+RecordedOp rq(std::int64_t lo, std::int64_t hi,
+              std::vector<std::int64_t> keys, std::uint64_t inv,
+              std::uint64_t res) {
+  RecordedOp o;
+  o.kind = OpKind::kRangeQuery;
+  o.a = lo;
+  o.b = hi;
+  o.keysResult = std::move(keys);
+  o.inv = inv;
+  o.res = res;
+  return o;
+}
+
+TEST(LinCheck, AcceptsSequentialHistory) {
+  const std::set<LinState> pre = {0};
+  // insert(3)=T strictly before contains(3)=T.
+  const auto post = linearizeWindow(
+      {op(OpKind::kInsert, 3, true, 0, 1), op(OpKind::kContains, 3, true, 2, 3)},
+      pre);
+  ASSERT_EQ(post.size(), 1u);
+  EXPECT_EQ(*post.begin(), LinState{1} << 3);
+}
+
+TEST(LinCheck, RejectsResultImpossibleInRealTimeOrder) {
+  const std::set<LinState> pre = {0};
+  // contains(3)=F strictly AFTER insert(3)=T completed: not linearizable.
+  const auto post = linearizeWindow(
+      {op(OpKind::kInsert, 3, true, 0, 1),
+       op(OpKind::kContains, 3, false, 2, 3)},
+      pre);
+  EXPECT_TRUE(post.empty());
+}
+
+TEST(LinCheck, AcceptsEitherOrderWhenConcurrent) {
+  const std::set<LinState> pre = {0};
+  // Same two ops, overlapping: contains may linearize first. Both final
+  // states include key 3 (insert always commits).
+  const auto post = linearizeWindow(
+      {op(OpKind::kInsert, 3, true, 0, 3),
+       op(OpKind::kContains, 3, false, 1, 2)},
+      pre);
+  ASSERT_EQ(post.size(), 1u);
+  EXPECT_EQ(*post.begin(), LinState{1} << 3);
+}
+
+TEST(LinCheck, RangeQueryMustMatchSomeInstantaneousState) {
+  // State {1, 4}; concurrent erase(1) and rq[0,7]. The scan may see
+  // {1,4} or {4} — but never a half-applied {1} or {}.
+  const std::set<LinState> pre = {(LinState{1} << 1) | (LinState{1} << 4)};
+  EXPECT_FALSE(linearizeWindow({op(OpKind::kErase, 1, true, 0, 3),
+                                rq(0, 7, {1, 4}, 1, 2)},
+                               pre)
+                   .empty());
+  EXPECT_FALSE(linearizeWindow({op(OpKind::kErase, 1, true, 0, 3),
+                                rq(0, 7, {4}, 1, 2)},
+                               pre)
+                   .empty());
+  EXPECT_TRUE(linearizeWindow({op(OpKind::kErase, 1, true, 0, 3),
+                               rq(0, 7, {1}, 1, 2)},
+                              pre)
+                  .empty());
+  EXPECT_TRUE(linearizeWindow({op(OpKind::kErase, 1, true, 0, 3),
+                               rq(0, 7, {}, 1, 2)},
+                              pre)
+                  .empty());
+}
+
+TEST(LinCheck, ThreadsCandidateStatesAcrossWindows) {
+  // Window 1: concurrent insert(2)=T / erase(2)=T. From the empty set only
+  // insert→erase is consistent (the erase's success forces it to follow the
+  // insert), so the candidate set collapses back to {∅}.
+  std::set<LinState> states = {0};
+  states = linearizeWindow({op(OpKind::kInsert, 2, true, 0, 3),
+                            op(OpKind::kErase, 2, true, 1, 2)},
+                           states);
+  EXPECT_EQ(states, (std::set<LinState>{0}));
+  // Window 2: contains(2)=T is therefore impossible...
+  EXPECT_TRUE(
+      linearizeWindow({op(OpKind::kContains, 2, true, 4, 5)}, states).empty());
+  // ...while contains(2)=F threads through unchanged.
+  states = linearizeWindow({op(OpKind::kContains, 2, false, 4, 5)}, states);
+  EXPECT_EQ(states, (std::set<LinState>{0}));
+}
+
+// ---------------------------------------------------------------------------
+// The stress harness.
+// ---------------------------------------------------------------------------
+
+template <typename SetT>
+void runRqLinStress(int threads, int rounds, std::int64_t keySpace,
+                    std::uint64_t seed) {
+  ASSERT_LE(keySpace, 64);  // LinState is a 64-bit membership mask
+  SetT set;
+  std::atomic<std::uint64_t> clock{0};
+  std::vector<RecordedOp> history(
+      static_cast<std::size_t>(rounds * threads));
+  std::barrier barrier(threads);
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(seed * 1000003 + static_cast<std::uint64_t>(t));
+      std::vector<std::pair<std::int64_t, std::int64_t>> buf;
+      for (int r = 0; r < rounds; ++r) {
+        barrier.arrive_and_wait();  // all of round r-1 completed
+        RecordedOp rec;
+        const std::int64_t k = static_cast<std::int64_t>(
+            rng.nextBounded(static_cast<std::uint64_t>(keySpace)));
+        const std::uint64_t dice = rng.nextBounded(100);
+        if (dice < 35) {
+          rec.kind = OpKind::kInsert;
+          rec.a = k;
+          rec.inv = clock.fetch_add(1);
+          rec.boolResult = set.insert(k, k);
+        } else if (dice < 70) {
+          rec.kind = OpKind::kErase;
+          rec.a = k;
+          rec.inv = clock.fetch_add(1);
+          rec.boolResult = set.erase(k);
+        } else if (dice < 80) {
+          rec.kind = OpKind::kContains;
+          rec.a = k;
+          rec.inv = clock.fetch_add(1);
+          rec.boolResult = set.contains(k);
+        } else {
+          rec.kind = OpKind::kRangeQuery;
+          rec.a = k;
+          rec.b = k + static_cast<std::int64_t>(rng.nextBounded(
+                          static_cast<std::uint64_t>(keySpace - k)));
+          buf.clear();
+          rec.inv = clock.fetch_add(1);
+          set.rangeQuery(rec.a, rec.b, buf);
+          for (const auto& [bk, bv] : buf) {
+            EXPECT_EQ(bk, bv);  // torn-value detector: we only insert (k, k)
+            rec.keysResult.push_back(bk);
+          }
+        }
+        rec.res = clock.fetch_add(1);
+        history[static_cast<std::size_t>(r * threads + t)] = std::move(rec);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  // Replay window by window, threading the set of possible abstract states.
+  std::set<LinState> states = {0};
+  for (int r = 0; r < rounds; ++r) {
+    const std::vector<RecordedOp> window(
+        history.begin() + static_cast<std::ptrdiff_t>(r * threads),
+        history.begin() + static_cast<std::ptrdiff_t>((r + 1) * threads));
+    states = linearizeWindow(window, states);
+    ASSERT_FALSE(states.empty())
+        << "history not linearizable at window " << r << ": "
+        << describeWindow(window);
+  }
+
+  // The structure's actual final contents must be one of the candidates.
+  std::vector<std::pair<std::int64_t, std::int64_t>> finalKeys;
+  set.rangeQuery(0, keySpace - 1, finalKeys);
+  LinState finalMask = 0;
+  for (const auto& [fk, fv] : finalKeys) finalMask |= LinState{1} << fk;
+  EXPECT_TRUE(states.count(finalMask))
+      << "final contents (mask " << finalMask
+      << ") not among the linearizable outcomes";
+}
+
+template <typename SetT>
+class RqLinearizable : public ::testing::Test {};
+
+using RqSets =
+    ::testing::Types<ds::IntBstPathCas<>, ds::IntAvlPathCas<>,
+                     ds::SkipListPathCas<>, ds::ListPathCas<>,
+                     ds::AbTreePathCas<>>;
+
+class RqSetNames {
+ public:
+  template <typename T>
+  static std::string GetName(int) {
+    std::string n = T::name();
+    for (auto& c : n) {
+      if (c == '-') c = '_';
+    }
+    return n;
+  }
+};
+
+TYPED_TEST_SUITE(RqLinearizable, RqSets, RqSetNames);
+
+TYPED_TEST(RqLinearizable, WindowedHistoryUnderChurn) {
+  runRqLinStress<TypeParam>(/*threads=*/4, /*rounds=*/2500, /*keySpace=*/8,
+                            /*seed=*/0x5eed0001);
+}
+
+TYPED_TEST(RqLinearizable, HighContentionTinyKeySpace) {
+  runRqLinStress<TypeParam>(/*threads=*/3, /*rounds=*/2500, /*keySpace=*/3,
+                            /*seed=*/0x5eed0002);
+}
+
+}  // namespace
+}  // namespace pathcas::testing

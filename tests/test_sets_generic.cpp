@@ -24,7 +24,8 @@ class SetTest : public ::testing::Test {};
 
 using AllSets = ::testing::Types<
     PathCasBstAdapter<false>, PathCasBstAdapter<true>,
-    PathCasAvlAdapter<false>, PathCasAvlAdapter<true>, EllenAdapter,
+    PathCasAvlAdapter<false>, PathCasAvlAdapter<true>, SkipListAdapter,
+    ListAdapter, AbTreeAdapter, EllenAdapter,
     TicketAdapter, TmBstAdapter<stm::NOrec>, TmBstAdapter<stm::TL2>,
     TmBstAdapter<stm::TLE>, TmBstAdapter<stm::GlobalLockTm>,
     TmBstAdapter<stm::Elastic>, TmAvlAdapter<stm::NOrec>,
