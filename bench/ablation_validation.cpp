@@ -38,11 +38,13 @@ int main() {
     cfg.durationMs = scaledDurationMs(120, 2000);
     cfg.insertFrac = updates / 200.0;
     cfg.deleteFrac = updates / 200.0;
+    applyEnvDist(cfg);  // the update rate is this ablation's axis; dist only
     const double on = cell(true, cfg);
     const double off = cell(false, cfg);
     std::printf("%8.0f%% %14.3f %14.3f %8.2fx\n", updates, on, off,
                 off > 0 ? on / off : 0.0);
-    std::printf("csv,ablation_validation,%.0f,%.3f,%.3f\n", updates, on, off);
+    std::printf("csv,ablation_validation,%.0f,%.3f,%.3f,%s\n", updates, on,
+                off, cfg.dist.label().c_str());
     std::fflush(stdout);
   }
   return 0;

@@ -43,7 +43,11 @@ void analyze(const TrialConfig& cfg, double updates) {
 }  // namespace
 
 int main() {
-  std::printf("\n== Appendix (Figs 26/27): factor analysis, 4 threads ==\n");
+  TrialConfig probe;
+  applyEnvDist(probe);  // the update rate is this figure's axis; dist only
+  std::printf(
+      "\n== Appendix (Figs 26/27): factor analysis, 4 threads, dist=%s ==\n",
+      probe.dist.label().c_str());
   std::printf("%-22s %7s %10s %12s %12s %10s %10s\n", "algorithm", "upd",
               "Mops/s", "cycles/op", "faults/op", "avg depth", "mem MiB");
   for (double updates : {1.0, 10.0, 100.0}) {
@@ -52,6 +56,7 @@ int main() {
     cfg.keyRange = scaledKeys(1 << 16, 1000 * 1000);
     cfg.durationMs = scaledDurationMs(120, 2000);
     cfg = withUpdates(cfg, updates);
+    applyEnvDist(cfg);
     // Unbalanced (Fig 26).
     analyze<PathCasBstAdapter<false>>(cfg, updates);
     analyze<EllenAdapter>(cfg, updates);

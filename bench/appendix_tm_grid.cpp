@@ -14,6 +14,7 @@ namespace {
 template <typename Adapter>
 void sweepWithAborts(const std::string& exp, const std::vector<int>& threads,
                      const TrialConfig& base) {
+  if (!mixSupported<Adapter>(base)) return;
   std::vector<double> mops, abortPct;
   for (int t : threads) {
     TrialConfig cfg = base;
@@ -30,10 +31,10 @@ void sweepWithAborts(const std::string& exp, const std::vector<int>& threads,
         attempts > 0 ? 100.0 * static_cast<double>(s1.aborts - s0.aborts) /
                            attempts
                      : 0.0);
-    std::printf("csv,%s,%s,%d,%lld,%.3f,%.2f\n", exp.c_str(),
+    std::printf("csv,%s,%s,%d,%lld,%.3f,%.2f,%s,%s\n", exp.c_str(),
                 Adapter::name().c_str(), t,
                 static_cast<long long>(cfg.keyRange), r.mops,
-                abortPct.back());
+                abortPct.back(), cfg.dist.label().c_str(), cfg.mix.c_str());
     set.reset();
     recl::EbrDomain::instance().drainAll();
   }
@@ -52,6 +53,11 @@ int main() {
     base.keyRange = keyRange;
     base.durationMs = scaledDurationMs(100, 2000);
     base = withUpdates(base, 10.0);
+    // Applied here as well as inside sweepThreads, so the sweepWithAborts
+    // (direct runTrial) rows run the same workload as the PathCAS rows. The
+    // TM adapters have no rangeQuery, so a scan-bearing mix preset (ycsb-e)
+    // skips them via mixSupported.
+    applyEnvWorkload(base);
 
     printHeader("Appendix (Figs 18/24): TM-based unbalanced BSTs, keyrange " +
                     std::to_string(keyRange) + ", 10% updates",

@@ -2,11 +2,18 @@
 // adapter type, EBR drain between cells, and CSV emission alongside the
 // human-readable rows.
 //
-// Knobs (see README.md "Benchmark knobs"):
+// Knobs (full reference: docs/BENCHMARKING.md):
 //   PATHCAS_BENCH_THREADS  comma-separated thread counts for the sweep
 //                          (default "1,2,4,8"; each must be in [1, 256])
 //   PATHCAS_BENCH_SCALE    "quick" (default) or "full" for paper-scale key
 //                          ranges and durations (driver.hpp)
+//   PATHCAS_BENCH_DIST     key distribution override (uniform | zipfian:θ |
+//                          hotspot:kf:of | latest[:θ] | seq) — applied to
+//                          every sweep by sweepThreads (driver.hpp,
+//                          applyEnvWorkload)
+//   PATHCAS_BENCH_MIX      operation-mix preset override (ycsb-a/b/c/e,
+//                          u0/u1/u10/u50/u100)
+//   PATHCAS_BENCH_JSON     JSON Lines sink, one object per trial
 #pragma once
 
 #include <cstdio>
@@ -64,24 +71,61 @@ using CsvPrinter = std::function<void(
     const std::string& experiment, const std::string& algo,
     const TrialConfig& cfg, const TrialResult& r)>;
 
-/// The default `csv,<experiment>,...` schema shared by the figure benches.
+/// The default `csv,<experiment>,...` schema shared by the figure benches;
+/// trailing dist/mix columns keep CSV rows self-describing under the
+/// PATHCAS_BENCH_DIST / PATHCAS_BENCH_MIX overrides.
 inline void printStandardCsv(const std::string& experiment,
                              const std::string& algo, const TrialConfig& cfg,
                              const TrialResult& r) {
-  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu\n", experiment.c_str(),
-              algo.c_str(), cfg.threads, static_cast<long long>(cfg.keyRange),
+  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu,%s,%s\n",
+              experiment.c_str(), algo.c_str(), cfg.threads,
+              static_cast<long long>(cfg.keyRange),
               (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
               static_cast<unsigned long long>(r.totalOps),
-              static_cast<unsigned long long>(r.cyclesPerOp));
+              static_cast<unsigned long long>(r.cyclesPerOp),
+              cfg.dist.label().c_str(), cfg.mix.c_str());
+}
+
+/// Which environment workload knobs a sweep honours: benches whose mix is
+/// the experiment's own axis (rq_mix's RQ grid) take only the distribution.
+enum class EnvKnobs { kDistAndMix, kDistOnly };
+
+/// True if `Adapter` can run cfg's operation mix. A scan-bearing mix
+/// (PATHCAS_BENCH_MIX=ycsb-e) on a structure without rangeQuery — the
+/// TM/MCMS baselines — is reported and skipped, rather than letting the
+/// driver's rqFrac assertion kill the whole sweep half-done.
+template <typename Adapter>
+bool mixSupported(const TrialConfig& cfg) {
+  if constexpr (!HasRangeQuery<Adapter>) {
+    if (cfg.rqFrac > 0.0) {
+      std::fprintf(stderr,
+                   "skipping %s: mix \"%s\" has %.0f%% scans but the "
+                   "structure has no rangeQuery\n",
+                   Adapter::name().c_str(), cfg.mix.c_str(),
+                   cfg.rqFrac * 100.0);
+      std::printf("%-22s  (skipped: no rangeQuery for mix %s)\n",
+                  Adapter::name().c_str(), cfg.mix.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Run `Adapter` across thread counts; prints a row and a CSV block line per
-/// cell. Returns Mops per thread count.
+/// cell. Returns Mops per thread count. The PATHCAS_BENCH_DIST /
+/// PATHCAS_BENCH_MIX environment overrides are applied to the base config
+/// here, so every bench built on sweepThreads honours them for free.
 template <typename Adapter>
 std::vector<double> sweepThreads(const std::string& experiment,
                                  const std::vector<int>& threads,
                                  TrialConfig base,
-                                 const CsvPrinter& csv = printStandardCsv) {
+                                 const CsvPrinter& csv = printStandardCsv,
+                                 EnvKnobs knobs = EnvKnobs::kDistAndMix) {
+  if (knobs == EnvKnobs::kDistOnly)
+    applyEnvDist(base);
+  else
+    applyEnvWorkload(base);
+  if (!mixSupported<Adapter>(base)) return {};
   std::vector<double> mops;
   for (int t : threads) {
     TrialConfig cfg = base;
@@ -98,9 +142,16 @@ std::vector<double> sweepThreads(const std::string& experiment,
 }
 
 /// Update-rate helper: the paper's U% updates = U/2% insert + U/2% delete.
+/// Names the mix accordingly ("u10" for 10%).
 inline TrialConfig withUpdates(TrialConfig cfg, double updatePercent) {
   cfg.insertFrac = updatePercent / 200.0;
   cfg.deleteFrac = updatePercent / 200.0;
+  char name[32];
+  if (updatePercent == static_cast<double>(static_cast<int>(updatePercent)))
+    std::snprintf(name, sizeof name, "u%d", static_cast<int>(updatePercent));
+  else
+    std::snprintf(name, sizeof name, "u%g", updatePercent);
+  cfg.mix = name;
   return cfg;
 }
 

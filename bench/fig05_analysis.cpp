@@ -19,10 +19,12 @@ void analyze(const TrialConfig& cfg) {
   auto set = std::make_unique<Adapter>();
   const std::int64_t prefillSum = prefillHalf(*set, cfg.keyRange);
   const TrialResult r = runTrial(*set, cfg, prefillSum);
-  std::printf("%-22s %10.3f %12llu %10.2f %12.2f\n", Adapter::name().c_str(),
-              r.mops, static_cast<unsigned long long>(r.cyclesPerOp),
+  std::printf("%-22s %10.3f %12llu %10.2f %12.2f  %s %s\n",
+              Adapter::name().c_str(), r.mops,
+              static_cast<unsigned long long>(r.cyclesPerOp),
               set->avgKeyDepth(),
-              static_cast<double>(set->footprintBytes()) / (1024.0 * 1024.0));
+              static_cast<double>(set->footprintBytes()) / (1024.0 * 1024.0),
+              cfg.dist.label().c_str(), cfg.mix.c_str());
   std::fflush(stdout);
   jsonAppendTrial("fig05_analysis", Adapter::name(), cfg, r);
   set.reset();
@@ -37,13 +39,14 @@ int main() {
   cfg.keyRange = scaledKeys(1 << 17, 20 * 1000 * 1000);
   cfg.durationMs = scaledDurationMs(250, 5000);
   cfg = withUpdates(cfg, 100.0);  // 50% insert / 50% delete
+  applyEnvWorkload(cfg);  // fig05 drives runTrial itself, so apply explicitly
 
   std::printf(
-      "\n== Figure 5: detailed analysis, 100%% updates, %d threads, "
-      "keyrange %lld ==\n",
-      cfg.threads, static_cast<long long>(cfg.keyRange));
-  std::printf("%-22s %10s %12s %10s %12s\n", "algorithm", "Mops/s",
-              "cycles/op", "avg depth", "mem (MiB)");
+      "\n== Figure 5: detailed analysis, %d threads, keyrange %lld, %s ==\n",
+      cfg.threads, static_cast<long long>(cfg.keyRange),
+      describeWorkload(cfg).c_str());
+  std::printf("%-22s %10s %12s %10s %12s  %s\n", "algorithm", "Mops/s",
+              "cycles/op", "avg depth", "mem (MiB)", "dist mix");
   analyze<EllenAdapter>(cfg);
   analyze<TicketAdapter>(cfg);
   analyze<PathCasBstAdapter<false>>(cfg);

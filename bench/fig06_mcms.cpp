@@ -17,6 +17,7 @@ template <typename Adapter>
 double oneCell(const TrialConfig& cfg) {
   const TrialResult r =
       runCell([] { return std::make_unique<Adapter>(); }, cfg);
+  jsonAppendTrial("fig06_mcms", Adapter::name(), cfg, r);
   recl::EbrDomain::instance().drainAll();
   return r.mops;
 }
@@ -29,9 +30,19 @@ int main() {
   // KCAS entry budget (2 per level) even for unlucky random BST depths.
   base.keyRange = scaledKeys(1 << 13, 100 * 1000);
   base.durationMs = scaledDurationMs(120, 2000);
-
-  std::printf("\n== Figure 6: PathCAS vs MCMS internal BST, keyrange %lld ==\n",
-              static_cast<long long>(base.keyRange));
+  // The update-vs-search column groups ARE this figure's mix axis, so only
+  // the distribution knob applies (a PATHCAS_BENCH_MIX preset could also
+  // leak scan fractions into structures without rangeQuery).
+  applyEnvDist(base);
+  if (const char* m = std::getenv("PATHCAS_BENCH_MIX"); m != nullptr && *m)
+    std::fprintf(stderr,
+                 "fig06_mcms ignores PATHCAS_BENCH_MIX=%s: the u100/u0 "
+                 "columns are the experiment\n",
+                 m);
+  std::printf(
+      "\n== Figure 6: PathCAS vs MCMS internal BST, keyrange %lld, "
+      "dist=%s ==\n",
+      static_cast<long long>(base.keyRange), base.dist.label().c_str());
   std::printf("%-9s | %-30s | %-30s\n", "", "100% update", "100% search");
   std::printf("%-9s | %9s %9s %9s | %9s %9s %9s\n", "threads", "PathCAS",
               "MCMS+", "MCMS-", "PathCAS", "MCMS+", "MCMS-");
@@ -48,8 +59,8 @@ int main() {
     const double mmS = oneCell<McmsBstAdapter<false>>(srch);
     std::printf("%-9d | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f\n", t, pcU,
                 mpU, mmU, pcS, mpS, mmS);
-    std::printf("csv,fig06,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n", t, pcU, mpU,
-                mmU, pcS, mpS, mmS);
+    std::printf("csv,fig06,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%s\n", t, pcU,
+                mpU, mmU, pcS, mpS, mmS, base.dist.label().c_str());
     std::fflush(stdout);
   }
   return 0;

@@ -18,40 +18,55 @@ using namespace pathcas::testing;
 namespace {
 
 /// rq_mix's extended CSV schema: the standard columns plus RQ ratio/width,
-/// scan rate, scan count and keys returned.
+/// scan rate, scan count, keys returned, and — like every bench, even at the
+/// uniform default — the dist/mix identification columns.
 void printRqCsv(const std::string& experiment, const std::string& algo,
                 const TrialConfig& cfg, const TrialResult& r) {
   const double rqPerSec =
       r.elapsedSec > 0.0 ? static_cast<double>(r.rqs) / r.elapsedSec : 0.0;
-  std::printf("csv,%s,%s,%d,%lld,%.0f,%.0f,%lld,%.3f,%.0f,%llu,%llu\n",
+  std::printf("csv,%s,%s,%d,%lld,%.0f,%.0f,%lld,%.3f,%.0f,%llu,%llu,%s,%s\n",
               experiment.c_str(), algo.c_str(), cfg.threads,
               static_cast<long long>(cfg.keyRange),
               (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,
               static_cast<long long>(cfg.rqSize), r.mops, rqPerSec,
               static_cast<unsigned long long>(r.rqs),
-              static_cast<unsigned long long>(r.rqKeys));
+              static_cast<unsigned long long>(r.rqKeys),
+              cfg.dist.label().c_str(), cfg.mix.c_str());
 }
 
 template <typename Adapter>
 void sweepRq(const std::vector<int>& threads, const TrialConfig& base) {
-  sweepThreads<Adapter>("rq_mix", threads, base, printRqCsv);
+  // Dist only: the RQ ratio × width grid is this bench's own mix axis.
+  sweepThreads<Adapter>("rq_mix", threads, base, printRqCsv,
+                        EnvKnobs::kDistOnly);
 }
 
 }  // namespace
 
 int main() {
+  if (const char* m = std::getenv("PATHCAS_BENCH_MIX"); m != nullptr && *m)
+    std::fprintf(stderr,
+                 "rq_mix ignores PATHCAS_BENCH_MIX=%s: the RQ ratio/width "
+                 "grid is the experiment\n",
+                 m);
   const auto threads = defaultThreads();
   for (const double rqPct : {10.0, 50.0}) {
     for (const std::int64_t rqSize : {16LL, 256LL}) {
       TrialConfig base = withUpdates({}, 10.0);  // 5% insert + 5% delete
       base.rqFrac = rqPct / 100.0;
       base.rqSize = rqSize;
+      base.mix = "u10-rq" + std::to_string(static_cast<int>(rqPct));
       base.keyRange = scaledKeys(1 << 14, 1 << 16);
       base.durationMs = scaledDurationMs(80, 2000);
+      // The RQ ratio × width grid IS this bench's mix axis, so only the
+      // distribution knob applies (a mix preset would collapse all six grid
+      // cells to the same workload); headers then match what the cells run.
+      applyEnvDist(base);
       printHeader("RQ mix: " + std::to_string(static_cast<int>(rqPct)) +
                       "% scans of width " + std::to_string(rqSize) +
                       ", 10% updates, keyrange " +
-                      std::to_string(base.keyRange),
+                      std::to_string(base.keyRange) + ", " +
+                      describeWorkload(base),
                   threads);
       sweepRq<PathCasBstAdapter<false>>(threads, base);
       sweepRq<PathCasAvlAdapter<false>>(threads, base);

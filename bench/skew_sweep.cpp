@@ -1,0 +1,108 @@
+// Skew sweep: Zipf theta × thread count across all seven ordered structures
+// (beyond the paper, which evaluates uniform keys only). Skewed keys
+// concentrate updates on a few hot nodes, which is exactly the regime where
+// PathCAS's validate-then-kcas design must pay retries/strong-path work —
+// uniform sweeps hide it. Alongside throughput, each cell reports the
+// per-thread op-count imbalance (max/min) and the structure footprint, so
+// skew-induced serialization and allocation imbalance are visible.
+//
+// Default grid: dist ∈ {uniform, zipfian:0.60, zipfian:0.90, zipfian:0.99,
+// hotspot:0.2:0.8} × PATHCAS_BENCH_THREADS, at the default u10 mix. Setting
+// PATHCAS_BENCH_DIST and/or PATHCAS_BENCH_MIX collapses the grid to that one
+// workload (the CI smoke trial runs `PATHCAS_BENCH_DIST=zipfian:0.99
+// PATHCAS_BENCH_MIX=ycsb-b`). Rows land in the usual outputs: human-readable,
+// `grep '^csv,skew_sweep'`, and PATHCAS_BENCH_JSON objects carrying dist,
+// theta, mix, ops_min_thread/ops_max_thread and footprint_bytes.
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+/// skew_sweep's CSV schema: identification + throughput + the two
+/// skew-visibility columns (thread-op imbalance, footprint).
+void printSkewCsv(const std::string& experiment, const std::string& algo,
+                  const TrialConfig& cfg, const TrialResult& r) {
+  const double imbalance =
+      r.minThreadOps > 0 ? static_cast<double>(r.maxThreadOps) /
+                               static_cast<double>(r.minThreadOps)
+                         : 0.0;
+  std::printf("csv,%s,%s,%d,%lld,%s,%g,%s,%.3f,%llu,%llu,%.2f,%llu\n",
+              experiment.c_str(), algo.c_str(), cfg.threads,
+              static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
+              cfg.dist.kind == DistKind::kZipfian ||
+                      cfg.dist.kind == DistKind::kLatest
+                  ? cfg.dist.theta
+                  : 0.0,
+              cfg.mix.c_str(), r.mops,
+              static_cast<unsigned long long>(r.minThreadOps),
+              static_cast<unsigned long long>(r.maxThreadOps), imbalance,
+              static_cast<unsigned long long>(r.footprintBytes));
+}
+
+template <typename Adapter>
+void sweepSkew(const std::vector<int>& threads, const TrialConfig& base) {
+  sweepThreads<Adapter>("skew_sweep", threads, base, printSkewCsv);
+}
+
+void runGrid(const std::vector<int>& threads, const TrialConfig& base) {
+  printHeader("Skew sweep: " + describeWorkload(base) + ", keyrange " +
+                  std::to_string(base.keyRange),
+              threads);
+  sweepSkew<PathCasBstAdapter<false>>(threads, base);
+  sweepSkew<PathCasAvlAdapter<false>>(threads, base);
+  sweepSkew<SkipListAdapter>(threads, base);
+  sweepSkew<AbTreeAdapter>(threads, base);
+  sweepSkew<EllenAdapter>(threads, base);
+  sweepSkew<TicketAdapter>(threads, base);
+
+  // The list's whole-prefix read set bounds it to small key ranges
+  // (pathcas::kMaxVisited); sweep it in its own regime.
+  TrialConfig listCfg = base;
+  listCfg.keyRange = 256;
+  listCfg.rqSize = std::min<std::int64_t>(listCfg.rqSize, 64);
+  std::printf("%-22s  (keyrange %lld)\n", "list-pathcas:",
+              static_cast<long long>(listCfg.keyRange));
+  sweepSkew<ListAdapter>(threads, listCfg);
+}
+
+}  // namespace
+
+int main() {
+  const auto threads = defaultThreads();
+  TrialConfig base = withUpdates({}, 10.0);  // 5% insert + 5% delete
+  base.keyRange = scaledKeys(1 << 14, 1 << 20);
+  base.durationMs = scaledDurationMs(80, 2000);
+
+  applyEnvMix(base);  // PATHCAS_BENCH_MIX may override the mix in any mode
+  if (applyEnvDist(base)) {
+    // Single-workload mode: the env names one distribution, so run just it
+    // (sweepThreads re-applies the same override per cell, idempotently).
+    runGrid(threads, base);
+    return 0;
+  }
+  // No (well-formed) PATHCAS_BENCH_DIST: run the built-in distribution grid.
+  // A malformed value warns once and is otherwise ignored, so the grid's
+  // per-cell dist settings run untouched.
+  std::vector<DistSpec> grid;
+  grid.push_back({});  // uniform
+  for (double theta : {0.60, 0.90, 0.99}) {
+    DistSpec d;
+    d.kind = DistKind::kZipfian;
+    d.theta = theta;
+    grid.push_back(d);
+  }
+  {
+    DistSpec d;
+    d.kind = DistKind::kHotspot;
+    grid.push_back(d);  // 80% of ops on the hottest 20% of keys
+  }
+  for (const DistSpec& d : grid) {
+    TrialConfig cfg = base;
+    cfg.dist = d;
+    runGrid(threads, cfg);
+  }
+  return 0;
+}

@@ -1,7 +1,9 @@
 // Uniform adapters over every concurrent-set implementation in the repo, so
 // one generic (typed) test suite and one benchmark driver cover them all.
 // Each adapter exposes: insert(k,v) / erase(k) / contains(k) -> bool,
-// size() / keySum() (quiescent), and name(). The pooled-tree adapters own
+// size() / keySum() (quiescent), name(), and footprintBytes() (picked up by
+// the driver's HasFootprint concept and recorded per trial in the JSON
+// output, alongside rangeQuery via HasRangeQuery). The pooled-tree adapters own
 // DEDICATED NodePools (not the shared per-type defaults), so their
 // footprintBytes() — read from pool counters rather than a reachable-node
 // walk — measures exactly the trial at hand, not cross-trial accumulation.

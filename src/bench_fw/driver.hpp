@@ -1,12 +1,20 @@
 // Setbench-style benchmark driver (§5 "Our experiments follow the
 // methodology of [9]"): prefill the structure to half its key range with a
-// random key subset, run T threads issuing a uniform mix of
-// insert/delete/contains — plus, when cfg.rqFrac > 0, fixed-width range
-// queries (index-scan style) — for a fixed duration, then validate the run
-// with the keysum invariant (sum of successfully inserted keys minus
-// successfully deleted keys must equal the structure's final keysum) before
-// reporting throughput. Operations are counted per category, so RQ-heavy
-// mixes report range-query throughput separately from point ops.
+// random key subset, run T threads issuing a mix of insert/delete/contains —
+// plus, when cfg.rqFrac > 0, fixed-width range queries (index-scan style) —
+// for a fixed duration, then validate the run with the keysum invariant (sum
+// of successfully inserted keys minus successfully deleted keys must equal
+// the structure's final keysum) before reporting throughput. Operations are
+// counted per category, so RQ-heavy mixes report range-query throughput
+// separately from point ops.
+//
+// Keys are drawn from a pluggable distribution (workload.hpp: uniform,
+// Zipfian, hotspot, latest, sequential) selected by TrialConfig::dist, and
+// the operation mix can be set from a named preset (TrialConfig::mix records
+// which). Both are overridable from the environment (PATHCAS_BENCH_DIST /
+// PATHCAS_BENCH_MIX, applied by applyEnvWorkload) and are recorded in every
+// trial's JSON object, so a result row is never ambiguous about the workload
+// that produced it.
 #pragma once
 
 #include <algorithm>
@@ -19,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_fw/workload.hpp"
 #include "recl/ebr.hpp"
 #include "util/backoff.hpp"
 #include "util/defs.hpp"
@@ -43,6 +52,13 @@ struct TrialConfig {
   std::int64_t rqSize = 64;
   int durationMs = 200;
   std::uint64_t seed = 1;
+  /// Key distribution the workers draw from (workload.hpp). Defaults to the
+  /// paper's uniform-random keys.
+  DistSpec dist;
+  /// Name of the operation mix the fracs above encode ("u10", "ycsb-b", ...;
+  /// "custom" when set by hand). Recorded in CSV/JSON so rows are
+  /// self-describing; applyMix / withUpdates keep it in sync.
+  std::string mix = "u10";
 };
 
 struct TrialResult {
@@ -54,7 +70,86 @@ struct TrialResult {
   std::uint64_t inserts = 0, deletes = 0, finds = 0;
   std::uint64_t rqs = 0;      // range queries completed
   std::uint64_t rqKeys = 0;   // keys returned across all range queries
+  /// Per-thread op-count extremes: under skewed keys, threads serialize on
+  /// the hot set at different rates, and max/min >> 1 makes that imbalance
+  /// visible in the output without dumping per-thread rows.
+  std::uint64_t minThreadOps = 0, maxThreadOps = 0;
+  /// Structure memory at trial end (pool counters), when the structure
+  /// exposes footprintBytes(); 0 otherwise.
+  std::uint64_t footprintBytes = 0;
 };
+
+/// Apply a named mix preset to a config (fracs + mix name + rqSize for
+/// scan-bearing presets like ycsb-e).
+inline void applyMix(TrialConfig& cfg, const MixSpec& m) {
+  cfg.insertFrac = m.insertFrac;
+  cfg.deleteFrac = m.deleteFrac;
+  cfg.rqFrac = m.rqFrac;
+  if (m.rqSize > 0) cfg.rqSize = m.rqSize;
+  cfg.mix = m.name;
+}
+
+inline bool applyMixByName(TrialConfig& cfg, const std::string& name) {
+  MixSpec m;
+  if (!findMix(name, &m)) return false;
+  applyMix(cfg, m);
+  return true;
+}
+
+/// PATHCAS_BENCH_DIST override (grammar: DistSpec::parse). Returns true iff
+/// a well-formed spec was applied; malformed values warn on stderr and leave
+/// the config unchanged.
+inline bool applyEnvDist(TrialConfig& cfg) {
+  const char* d = std::getenv("PATHCAS_BENCH_DIST");
+  if (d == nullptr || *d == '\0') return false;
+  if (!DistSpec::parse(d, &cfg.dist)) {
+    static bool warned = false;  // once per process, not per sweep cell
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "ignoring malformed PATHCAS_BENCH_DIST=\"%s\" (want e.g. "
+                   "uniform | zipfian:0.99 | hotspot:0.2:0.8 | latest | seq)\n",
+                   d);
+    }
+    return false;
+  }
+  return true;
+}
+
+/// PATHCAS_BENCH_MIX override (preset names: workload.hpp). Returns true iff
+/// a known preset was applied.
+inline bool applyEnvMix(TrialConfig& cfg) {
+  const char* m = std::getenv("PATHCAS_BENCH_MIX");
+  if (m == nullptr || *m == '\0') return false;
+  if (!applyMixByName(cfg, m)) {
+    static bool warned = false;  // once per process, not per sweep cell
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "ignoring unknown PATHCAS_BENCH_MIX=\"%s\" (presets:", m);
+      for (const MixSpec& p : mixPresets())
+        std::fprintf(stderr, " %s", p.name);
+      std::fprintf(stderr, ")\n");
+    }
+    return false;
+  }
+  return true;
+}
+
+/// Both environment overrides, honoured by every bench that goes through
+/// sweepThreads (and applied explicitly by the benches that drive runTrial
+/// themselves). Benches whose mix IS the experiment's axis (fig06's
+/// update-vs-search columns) apply only applyEnvDist.
+inline void applyEnvWorkload(TrialConfig& cfg) {
+  applyEnvDist(cfg);
+  applyEnvMix(cfg);
+}
+
+/// One-line workload description for bench headers, e.g.
+/// "dist=zipfian:0.99 mix=ycsb-b".
+inline std::string describeWorkload(const TrialConfig& cfg) {
+  return "dist=" + cfg.dist.label() + " mix=" + cfg.mix;
+}
 
 /// Structures that support the range-query mix (rqFrac > 0).
 template <typename Set>
@@ -62,6 +157,13 @@ concept HasRangeQuery =
     requires(Set s, std::vector<std::pair<std::int64_t, std::int64_t>> buf) {
       { s.rangeQuery(std::int64_t{}, std::int64_t{}, buf) };
     };
+
+/// Structures whose memory use can be read from pool counters; their trials
+/// carry footprint_bytes in the JSON output.
+template <typename Set>
+concept HasFootprint = requires(const Set s) {
+  { s.footprintBytes() } -> std::convertible_to<std::uint64_t>;
+};
 
 /// Benchmark scale, from PATHCAS_BENCH_SCALE ("quick" default, "full" for
 /// paper-scale key ranges and durations).
@@ -115,6 +217,10 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   std::atomic<bool> go{false}, stop{false};
   std::atomic<int> ready{0};
 
+  // Zipfian constants are computed here, once, before any worker exists (the
+  // incremental zeta table makes repeat trials at the same key range free).
+  SharedWorkloadState wstate(cfg.dist, cfg.keyRange);
+
   // Release the registry slot the calling thread lazily acquired during
   // prefill, so a kMaxThreads-wide sweep can register every worker. The
   // caller re-registers automatically on its next structure access (the
@@ -132,6 +238,10 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   for (int t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
       ThreadGuard tg;
+      // Two independent deterministic streams per worker: the key generator
+      // owns one (so replacing the op-type dice can never perturb the key
+      // sequence) and the dice keep the legacy seeding.
+      KeyGen keys(cfg.dist, cfg.keyRange, &wstate, cfg.seed, t, cfg.threads);
       Xoshiro256 rng(cfg.seed * 1000003 + static_cast<std::uint64_t>(t));
       PerThread& my = stats[static_cast<std::size_t>(t)];
       std::vector<std::pair<std::int64_t, std::int64_t>> rqBuf;
@@ -140,12 +250,13 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       while (!go.load(std::memory_order_acquire)) cpuRelax();
       const std::uint64_t c0 = rdtsc();
       while (!stop.load(std::memory_order_relaxed)) {
-        const std::int64_t k =
-            static_cast<std::int64_t>(rng.nextBounded(
-                static_cast<std::uint64_t>(cfg.keyRange)));
+        const std::int64_t k = keys.next();
         const std::uint64_t dice = rng.nextBounded(1000000000ULL);
         if (dice < insertCut) {
-          if (set.insert(k, k)) my.keysumDelta += k;
+          if (set.insert(k, k)) {
+            my.keysumDelta += k;
+            keys.noteInsert(k);
+          }
           ++my.inserts;
         } else if (dice < deleteCut) {
           if (set.erase(k)) my.keysumDelta -= k;
@@ -177,6 +288,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   TrialResult r;
   std::int64_t expected = prefillSum;
   std::uint64_t cycles = 0;
+  r.minThreadOps = stats.empty() ? 0 : stats.front().ops;
   for (const auto& s : stats) {
     r.totalOps += s.ops;
     r.inserts += s.inserts;
@@ -184,6 +296,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
     r.finds += s.finds;
     r.rqs += s.rqs;
     r.rqKeys += s.rqKeys;
+    r.minThreadOps = std::min(r.minThreadOps, s.ops);
+    r.maxThreadOps = std::max(r.maxThreadOps, s.ops);
     expected += s.keysumDelta;
     cycles += s.cycles;
   }
@@ -192,6 +306,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   r.cyclesPerOp = r.totalOps ? cycles / r.totalOps : 0;
   r.keysumOk = (set.keySum() == expected);
   PATHCAS_CHECK(r.keysumOk && "keysum validation failed — correctness bug");
+  if constexpr (HasFootprint<Set>) r.footprintBytes = set.footprintBytes();
   return r;
 }
 
@@ -225,7 +340,10 @@ inline std::FILE* jsonSink() {
   return sink;
 }
 
-/// Append one JSON object (one line) describing a completed trial.
+/// Append one JSON object (one line) describing a completed trial. Every
+/// bench emits the same schema — including `dist`, `theta` and `mix` even
+/// for the uniform default — so rows from different benches aggregate
+/// without per-experiment special cases (schema: docs/BENCHMARKING.md).
 inline void jsonAppendTrial(const std::string& experiment,
                             const std::string& algo, const TrialConfig& cfg,
                             const TrialResult& r) {
@@ -234,22 +352,30 @@ inline void jsonAppendTrial(const std::string& experiment,
   const double rqMops =
       r.elapsedSec > 0.0 ? static_cast<double>(r.rqs) / r.elapsedSec / 1e6
                          : 0.0;
+  const bool skewed = cfg.dist.kind == DistKind::kZipfian ||
+                      cfg.dist.kind == DistKind::kLatest;
   std::fprintf(
       f,
       "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,"
-      "\"key_range\":%lld,\"update_pct\":%.1f,\"rq_pct\":%.1f,"
+      "\"key_range\":%lld,\"dist\":\"%s\",\"theta\":%g,\"mix\":\"%s\","
+      "\"update_pct\":%.1f,\"rq_pct\":%.1f,"
       "\"rq_size\":%lld,\"mops\":%.4f,\"rq_mops\":%.4f,"
-      "\"total_ops\":%llu,\"rqs\":%llu,\"rq_keys\":%llu,"
-      "\"cycles_per_op\":%llu,\"elapsed_sec\":%.4f,"
-      "\"keysum_ok\":%s}\n",
+      "\"total_ops\":%llu,\"ops_min_thread\":%llu,\"ops_max_thread\":%llu,"
+      "\"rqs\":%llu,\"rq_keys\":%llu,"
+      "\"cycles_per_op\":%llu,\"footprint_bytes\":%llu,"
+      "\"elapsed_sec\":%.4f,\"keysum_ok\":%s}\n",
       experiment.c_str(), algo.c_str(), cfg.threads,
-      static_cast<long long>(cfg.keyRange),
+      static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
+      skewed ? cfg.dist.theta : 0.0, cfg.mix.c_str(),
       (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,
       static_cast<long long>(cfg.rqSize), r.mops, rqMops,
       static_cast<unsigned long long>(r.totalOps),
+      static_cast<unsigned long long>(r.minThreadOps),
+      static_cast<unsigned long long>(r.maxThreadOps),
       static_cast<unsigned long long>(r.rqs),
       static_cast<unsigned long long>(r.rqKeys),
-      static_cast<unsigned long long>(r.cyclesPerOp), r.elapsedSec,
+      static_cast<unsigned long long>(r.cyclesPerOp),
+      static_cast<unsigned long long>(r.footprintBytes), r.elapsedSec,
       r.keysumOk ? "true" : "false");
   std::fflush(f);
 }

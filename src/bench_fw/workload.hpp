@@ -1,0 +1,394 @@
+// Workload generation for the benchmark driver: pluggable key-distribution
+// generators (uniform, Zipfian, hotspot, latest, sequential-insert) and named
+// operation-mix presets (YCSB A/B/C/E plus the paper's update-rate mixes).
+//
+// Design constraints, in order:
+//  1. Determinism — a (seed, thread-id) pair fully determines a generator's
+//     key sequence, so trials replay exactly and failures are reproducible.
+//     Nothing here reads a global RNG or the clock.
+//  2. Cheap per-sample cost — the generators sit inside the measured loop, so
+//     sampling is a handful of arithmetic ops (the Zipfian harmonic constants
+//     are precomputed once per (keyRange, theta), never per sample).
+//  3. No driver dependency — driver.hpp includes this header, not the other
+//     way around; everything below is usable standalone (see
+//     tests/test_workload.cpp).
+//
+// The Zipfian sampler follows Gray et al., "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD '94), the same method YCSB
+// uses: draw u ~ U[0,1) and invert an analytic approximation of the Zipf CDF
+// built from the harmonic constants zeta(n, theta). The expensive part,
+// zeta(n, theta) = sum_{i=1..n} 1/i^theta, is computed INCREMENTALLY: a
+// process-wide table keeps the partial sums already paid for, and a request
+// for a larger n only sums the new tail (so a sweep over growing key ranges,
+// or many trials at one range, pays the O(n) walk once, not per trial).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/rand.hpp"
+
+namespace pathcas::bench {
+
+// ---------------------------------------------------------------------------
+// Key distributions
+// ---------------------------------------------------------------------------
+
+enum class DistKind { kUniform, kZipfian, kHotspot, kLatest, kSequential };
+
+/// A parsed key-distribution spec. `parse()` accepts the PATHCAS_BENCH_DIST
+/// grammar; `label()` round-trips it (and is what the JSON `dist` field and
+/// the CSV columns carry):
+///   uniform                  every key equally likely (the default)
+///   zipfian[:theta][:ranked] Zipf-distributed ranks, theta in [0, 1)
+///                            (default 0.99). Ranks are scrambled across the
+///                            key space by a fixed hash (YCSB's scrambled
+///                            Zipfian) unless the `:ranked` suffix asks for
+///                            rank i -> key i (hot keys adjacent, so the hot
+///                            set collides in one subtree/prefix).
+///   hotspot[:keyFrac[:opFrac]]  opFrac of operations (default 0.8) target
+///                            the first keyFrac of the key space (default
+///                            0.2); the rest are uniform over the cold keys.
+///   latest[:theta]           Zipf over recency: keys near the most recently
+///                            inserted key (YCSB-D style). The anchor starts
+///                            at keyRange/2 and advances with every
+///                            successful insert.
+///   seq                      per-thread strided sequential keys (thread t of
+///                            T emits t, t+T, t+2T, ... mod keyRange) — the
+///                            classic sorted-load / log-append pattern.
+struct DistSpec {
+  DistKind kind = DistKind::kUniform;
+  double theta = 0.99;      // zipfian / latest skew parameter, in [0, 1)
+  double hotKeyFrac = 0.2;  // hotspot: fraction of the key space that is hot
+  double hotOpFrac = 0.8;   // hotspot: fraction of ops aimed at the hot set
+  bool scramble = true;     // zipfian: hash ranks across the key space
+
+  /// Canonical text form, e.g. "uniform", "zipfian:0.99",
+  /// "hotspot:0.2:0.8", "latest:0.99", "seq". Parameters are rendered with
+  /// std::to_chars (shortest representation that parses back to the
+  /// bit-identical double), so the label always round-trips through parse()
+  /// to the exact distribution — a recorded row can be replayed from its
+  /// own label.
+  std::string label() const {
+    const auto num = [](double v) {
+      char b[32];
+      const auto res = std::to_chars(b, b + sizeof b, v);
+      return std::string(b, res.ptr);
+    };
+    switch (kind) {
+      case DistKind::kUniform:
+        return "uniform";
+      case DistKind::kZipfian:
+        return "zipfian:" + num(theta) + (scramble ? "" : ":ranked");
+      case DistKind::kHotspot:
+        return "hotspot:" + num(hotKeyFrac) + ":" + num(hotOpFrac);
+      case DistKind::kLatest:
+        return "latest:" + num(theta);
+      case DistKind::kSequential:
+        return "seq";
+    }
+    return "uniform";
+  }
+
+  /// Parse the grammar above. Returns false (and leaves *out untouched) on
+  /// malformed input — unknown kind, theta outside [0, 1), fractions outside
+  /// (0, 1).
+  static bool parse(const std::string& s, DistSpec* out);
+};
+
+namespace detail {
+
+/// Split "a:b:c" into fields.
+inline std::vector<std::string> splitColons(const std::string& s) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = s.find(':', start);
+    parts.push_back(s.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  return parts;
+}
+
+/// strtod with full-string validation. Rejects non-finite values ("nan",
+/// "inf"): NaN in particular passes every range check by comparing false and
+/// would poison the zeta cache's std::map ordering.
+inline bool parseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace detail
+
+inline bool DistSpec::parse(const std::string& s, DistSpec* out) {
+  const std::vector<std::string> f = detail::splitColons(s);
+  DistSpec spec;
+  if (f[0] == "uniform") {
+    if (f.size() != 1) return false;
+    spec.kind = DistKind::kUniform;
+  } else if (f[0] == "zipfian") {
+    spec.kind = DistKind::kZipfian;
+    std::size_t i = 1;
+    if (i < f.size() && f[i] != "ranked") {
+      if (!detail::parseDouble(f[i], &spec.theta)) return false;
+      ++i;
+    }
+    if (i < f.size()) {
+      if (f[i] != "ranked") return false;
+      spec.scramble = false;
+      ++i;
+    }
+    if (i != f.size()) return false;
+    if (spec.theta < 0.0 || spec.theta >= 1.0) return false;
+  } else if (f[0] == "hotspot") {
+    spec.kind = DistKind::kHotspot;
+    if (f.size() > 3) return false;
+    if (f.size() >= 2 && !detail::parseDouble(f[1], &spec.hotKeyFrac))
+      return false;
+    if (f.size() >= 3 && !detail::parseDouble(f[2], &spec.hotOpFrac))
+      return false;
+    if (spec.hotKeyFrac <= 0.0 || spec.hotKeyFrac >= 1.0) return false;
+    if (spec.hotOpFrac <= 0.0 || spec.hotOpFrac > 1.0) return false;
+  } else if (f[0] == "latest") {
+    spec.kind = DistKind::kLatest;
+    if (f.size() > 2) return false;
+    if (f.size() == 2 && !detail::parseDouble(f[1], &spec.theta)) return false;
+    if (spec.theta < 0.0 || spec.theta >= 1.0) return false;
+  } else if (f[0] == "seq" || f[0] == "sequential") {
+    if (f.size() != 1) return false;
+    spec.kind = DistKind::kSequential;
+  } else {
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian constants (Gray et al.), with the incremental zeta table
+// ---------------------------------------------------------------------------
+
+/// The per-(n, theta) constants the Gray sampler needs. Immutable once
+/// computed; shared read-only by every worker thread of a trial.
+struct ZipfianParams {
+  std::uint64_t n = 0;
+  double theta = 0.0;
+  double zetan = 0.0;  // zeta(n, theta) = sum_{i=1..n} 1/i^theta
+  double zeta2 = 0.0;  // zeta(2, theta) = 1 + 0.5^theta (rank-1 CDF cut)
+  double alpha = 0.0;  // 1 / (1 - theta)
+  double eta = 0.0;    // Gray's eta, from zeta2 and zetan
+
+  /// Direct O(n) computation (the reference the incremental path must match;
+  /// see test_workload.cpp's IncrementalZetaMatchesDirect).
+  static ZipfianParams compute(std::uint64_t n, double theta) {
+    double z = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    return fromZeta(n, theta, z);
+  }
+
+  /// Cached / incremental lookup: a process-wide table keeps, per theta,
+  /// every zeta(n', theta) already computed. A request for a larger n resumes
+  /// the partial sum at the largest known n' < n and only adds the tail —
+  /// identical floating-point result to compute() because the terms
+  /// accumulate in the same order.
+  static ZipfianParams forRange(std::uint64_t n, double theta) {
+    static std::mutex mu;
+    static std::map<double, std::map<std::uint64_t, double>> zetaTable;
+    std::lock_guard<std::mutex> g(mu);
+    std::map<std::uint64_t, double>& known = zetaTable[theta];
+    double z = 0.0;
+    std::uint64_t from = 1;
+    auto it = known.upper_bound(n);
+    if (it != known.begin()) {
+      --it;  // largest n' <= n already summed
+      z = it->second;
+      from = it->first + 1;
+    }
+    for (std::uint64_t i = from; i <= n; ++i)
+      z += 1.0 / std::pow(static_cast<double>(i), theta);
+    known[n] = z;
+    return fromZeta(n, theta, z);
+  }
+
+ private:
+  static ZipfianParams fromZeta(std::uint64_t n, double theta, double zetan) {
+    ZipfianParams p;
+    p.n = n;
+    p.theta = theta;
+    p.zetan = zetan;
+    p.zeta2 = 1.0 + std::pow(0.5, theta);
+    p.alpha = 1.0 / (1.0 - theta);
+    p.eta = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+            (1.0 - p.zeta2 / zetan);
+    return p;
+  }
+};
+
+/// Per-trial state shared by every worker's KeyGen: the Zipfian constants
+/// (computed once, on the coordinating thread, before workers start) and the
+/// `latest` distribution's recency anchor, advanced by successful inserts.
+struct SharedWorkloadState {
+  ZipfianParams zipf;  // valid iff the dist is zipfian or latest
+  std::atomic<std::int64_t> latestAnchor;
+
+  SharedWorkloadState(const DistSpec& spec, std::int64_t keyRange)
+      : latestAnchor(keyRange / 2) {
+    if (spec.kind == DistKind::kZipfian || spec.kind == DistKind::kLatest)
+      zipf = ZipfianParams::forRange(static_cast<std::uint64_t>(keyRange),
+                                     spec.theta);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// The per-thread key generator
+// ---------------------------------------------------------------------------
+
+/// One worker thread's key stream. The (seed, tid) pair fully determines the
+/// sequence (except `latest`, whose anchor is fed by racing inserts — by
+/// design). The generator owns its RNG so the driver's op-type dice cannot
+/// perturb the key stream.
+class KeyGen {
+ public:
+  KeyGen(const DistSpec& spec, std::int64_t keyRange,
+         SharedWorkloadState* shared, std::uint64_t seed, int tid,
+         int nthreads)
+      : spec_(spec),
+        n_(static_cast<std::uint64_t>(keyRange)),
+        shared_(shared),
+        anchor_(shared == nullptr ? nullptr : &shared->latestAnchor),
+        rng_(seed * 0x9e3779b97f4a7c15ULL + static_cast<std::uint64_t>(tid)),
+        seq_(static_cast<std::uint64_t>(tid)),
+        stride_(static_cast<std::uint64_t>(nthreads)) {
+    hotKeys_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(spec.hotKeyFrac *
+                                      static_cast<double>(n_)));
+    if (hotKeys_ >= n_) hotKeys_ = n_;  // degenerate: everything is hot
+  }
+
+  /// Next key in [0, keyRange).
+  std::int64_t next() {
+    switch (spec_.kind) {
+      case DistKind::kUniform:
+        return static_cast<std::int64_t>(rng_.nextBounded(n_));
+      case DistKind::kZipfian: {
+        // The scrambling hash is fixed (seed-independent): it is part of the
+        // distribution's identity, not of a particular run.
+        const std::uint64_t rank = zipfRank();
+        return static_cast<std::int64_t>(
+            spec_.scramble ? mix64(rank) % n_ : rank);
+      }
+      case DistKind::kHotspot: {
+        if (hotKeys_ >= n_ || rng_.nextDouble() < spec_.hotOpFrac)
+          return static_cast<std::int64_t>(rng_.nextBounded(hotKeys_));
+        return static_cast<std::int64_t>(hotKeys_ +
+                                         rng_.nextBounded(n_ - hotKeys_));
+      }
+      case DistKind::kLatest: {
+        const std::uint64_t back = zipfRank();
+        const std::uint64_t anchor = static_cast<std::uint64_t>(
+            anchor_->load(std::memory_order_relaxed));
+        return static_cast<std::int64_t>((anchor + n_ - back % n_) % n_);
+      }
+      case DistKind::kSequential: {
+        const std::uint64_t k = seq_ % n_;
+        seq_ += stride_;
+        return static_cast<std::int64_t>(k);
+      }
+    }
+    return 0;
+  }
+
+  /// Hook for the driver: a successful insert of `k` advances the `latest`
+  /// recency anchor. No-op for every other distribution.
+  void noteInsert(std::int64_t k) {
+    if (spec_.kind == DistKind::kLatest)
+      anchor_->store(k, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Gray's CDF-inversion: rank in [0, n), rank 0 most popular. Pure
+  /// arithmetic over the precomputed constants (no zeta work per sample).
+  std::uint64_t zipfRank() {
+    const ZipfianParams& p = shared_->zipf;
+    const double u = rng_.nextDouble();
+    const double uz = u * p.zetan;
+    if (uz < 1.0) return 0;
+    if (uz < p.zeta2) return 1;
+    const std::uint64_t r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(p.eta * u - p.eta + 1.0, p.alpha));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+  DistSpec spec_;
+  std::uint64_t n_;
+  const SharedWorkloadState* shared_;
+  std::atomic<std::int64_t>* anchor_;
+  std::uint64_t hotKeys_ = 0;
+  Xoshiro256 rng_;
+  std::uint64_t seq_;     // sequential: next index in this thread's stride
+  std::uint64_t stride_;  // sequential: total thread count
+};
+
+// ---------------------------------------------------------------------------
+// Operation-mix presets
+// ---------------------------------------------------------------------------
+
+/// A named operation mix: insert + delete + rq fractions; the remainder (up
+/// to 1.0) is point lookups. YCSB's read-modify-write "update" maps to
+/// matched insert/delete halves so the structure's size stays stationary
+/// (the same convention as the paper's U% mixes = U/2% insert + U/2% delete);
+/// YCSB-E's insert share is likewise split so the key range cannot saturate
+/// mid-trial. rqSize > 0 also sets TrialConfig::rqSize (YCSB-E scans).
+struct MixSpec {
+  const char* name = "";
+  double insertFrac = 0.0;
+  double deleteFrac = 0.0;
+  double rqFrac = 0.0;
+  std::int64_t rqSize = 0;  // 0 = leave TrialConfig::rqSize alone
+};
+
+/// The preset table: YCSB A/B/C/E plus the paper's update-rate mixes
+/// (u0/u1/u10/u50/u100, §5's 0/1/10/50/100%-update workloads).
+inline const std::vector<MixSpec>& mixPresets() {
+  static const std::vector<MixSpec> kPresets = {
+      {"ycsb-a", 0.25, 0.25, 0.0, 0},    // 50% reads / 50% updates
+      {"ycsb-b", 0.025, 0.025, 0.0, 0},  // 95% reads /  5% updates
+      {"ycsb-c", 0.0, 0.0, 0.0, 0},      // 100% reads
+      {"ycsb-e", 0.025, 0.025, 0.95, 64},  // 95% scans / 5% updates
+      {"u0", 0.0, 0.0, 0.0, 0},
+      {"u1", 0.005, 0.005, 0.0, 0},
+      {"u10", 0.05, 0.05, 0.0, 0},
+      {"u50", 0.25, 0.25, 0.0, 0},
+      {"u100", 0.5, 0.5, 0.0, 0},
+  };
+  return kPresets;
+}
+
+/// Look up a preset by name; false if unknown.
+inline bool findMix(const std::string& name, MixSpec* out) {
+  for (const MixSpec& m : mixPresets()) {
+    if (name == m.name) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pathcas::bench

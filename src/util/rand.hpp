@@ -1,20 +1,25 @@
 // Fast per-thread pseudo-random number generation for workload drivers and
 // randomized levels (skip list). xoshiro256** seeded via splitmix64, plus a
-// rejection-free bounded-uniform helper and a Zipf generator for skewed keys.
+// rejection-free bounded-uniform helper. Skewed-key distributions (Zipfian,
+// hotspot, latest) live in src/bench_fw/workload.hpp, built on top of this.
 #pragma once
 
-#include <cmath>
 #include <cstdint>
-#include <vector>
 
 namespace pathcas {
 
-/// splitmix64: used only for seeding (recommended by the xoshiro authors).
-inline std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+/// The splitmix64 finalizer: a stateless, bijective 64-bit mixer. Also used
+/// on its own as a fixed hash (e.g. scrambling Zipfian ranks across the key
+/// space in bench_fw/workload.hpp).
+inline std::uint64_t mix64(std::uint64_t z) {
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
+}
+
+/// splitmix64: used only for seeding (recommended by the xoshiro authors).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  return mix64(state += 0x9e3779b97f4a7c15ULL);
 }
 
 /// xoshiro256** 1.0 — fast, high-quality, 2^256-1 period.
@@ -51,41 +56,6 @@ class Xoshiro256 {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t s_[4];
-};
-
-/// Zipf-distributed integers in [1, n] with parameter theta, using the
-/// Gray et al. computation with precomputed constants (fast per-sample).
-class ZipfGenerator {
- public:
-  ZipfGenerator(std::uint64_t n, double theta, std::uint64_t seed = 1)
-      : n_(n), theta_(theta), rng_(seed) {
-    zetan_ = zeta(n_, theta_);
-    const double zeta2 = zeta(2, theta_);
-    alpha_ = 1.0 / (1.0 - theta_);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
-           (1.0 - zeta2 / zetan_);
-  }
-
-  std::uint64_t next() {
-    const double u = rng_.nextDouble();
-    const double uz = u * zetan_;
-    if (uz < 1.0) return 1;
-    if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
-    return 1 + static_cast<std::uint64_t>(
-                   static_cast<double>(n_) *
-                   std::pow(eta_ * u - eta_ + 1.0, alpha_));
-  }
-
- private:
-  static double zeta(std::uint64_t n, double theta) {
-    double sum = 0;
-    for (std::uint64_t i = 1; i <= n; ++i)
-      sum += 1.0 / std::pow(static_cast<double>(i), theta);
-    return sum;
-  }
-  std::uint64_t n_;
-  double theta_, zetan_, alpha_, eta_;
-  Xoshiro256 rng_;
 };
 
 }  // namespace pathcas

@@ -57,18 +57,8 @@ TEST(Rand, DoubleInUnitInterval) {
   }
 }
 
-TEST(Rand, ZipfSkewsTowardSmallValues) {
-  ZipfGenerator zipf(1000, 0.99, 5);
-  int small = 0, total = 20000;
-  for (int i = 0; i < total; ++i) {
-    const auto v = zipf.next();
-    ASSERT_GE(v, 1u);
-    ASSERT_LE(v, 1000u);
-    small += (v <= 10);
-  }
-  // With theta=0.99 the top-10 of 1000 keys absorb a large share.
-  EXPECT_GT(small, total / 4);
-}
+// Zipfian/hotspot/latest generator coverage lives in tests/test_workload.cpp
+// (the generators moved to src/bench_fw/workload.hpp).
 
 TEST(Padding, GeometryIsPaddedAndAligned) {
   EXPECT_EQ(sizeof(Padded<char>) % kNoFalseSharing, 0u);
