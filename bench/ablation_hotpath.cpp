@@ -1,0 +1,161 @@
+// Commit-path ablation (ISSUE 5): attributes the KCAS hot-path win to its
+// three orthogonal optimizations by instantiating KcasDomain with every
+// KcasPolicy toggle — degenerate k=1 fast paths, relaxed publication fences,
+// hot/cold inline descriptor layout — one at a time and all together, and
+// timing the four operation shapes the data structures actually commit:
+//
+//   exec_k1      one entry, no path      (stack/queue, strong-path k=1)
+//   vexec_k1p1   one entry + one visit   (guarded single-word install)
+//   exec_k4      four entries            (tree update, validation reduced)
+//   vexec_k2p2   two entries + two visits (the BST insert shape)
+//
+// Single-threaded by design: the attribution metric is uncontended
+// cycles/op (docs/BENCHMARKING.md, "ablation_hotpath"). Contended behavior
+// is covered by skew_sweep and the fig0x drivers.
+//
+// Knobs: PATHCAS_ABLATION_ITERS (default 1000000) — iterations per cell.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "kcas/kcas.hpp"
+#include "util/thread_registry.hpp"
+#include "util/timing.hpp"
+
+namespace {
+
+using namespace pathcas;
+using namespace pathcas::k;
+
+std::uint64_t iters() {
+  const char* s = std::getenv("PATHCAS_ABLATION_ITERS");
+  const long v = s != nullptr ? std::atol(s) : 0;
+  return v > 0 ? static_cast<std::uint64_t>(v) : 1000000;
+}
+
+struct CellResult {
+  double nsPerOp;
+  double cyclesPerOp;
+};
+
+/// Time `op` (called `n` times) with wall clock and rdtsc.
+template <typename F>
+CellResult timeCell(std::uint64_t n, F&& op) {
+  StopWatch sw;
+  const std::uint64_t c0 = rdtsc();
+  for (std::uint64_t i = 0; i < n; ++i) op();
+  const std::uint64_t c1 = rdtsc();
+  const double sec = sw.elapsedSeconds();
+  return {sec * 1e9 / static_cast<double>(n),
+          static_cast<double>(c1 - c0) / static_cast<double>(n)};
+}
+
+constexpr int kOps = 4;
+const char* const kOpNames[kOps] = {"exec_k1", "vexec_k1p1", "exec_k4",
+                                    "vexec_k2p2"};
+
+/// Run the four operation shapes against a fresh domain built with Policy.
+template <class Policy>
+void runConfig(const char* config, CellResult (&out)[kOps]) {
+  using Dom = KcasDomain<64, 64, Policy>;
+  auto* dom = new Dom();  // too large for the stack; freed below
+  const std::uint64_t n = iters();
+
+  // Words: a guard version (even values only — the mark bit must stay
+  // clear), and a handful of data/version words shaped like a tree node
+  // neighbourhood.
+  AtomicWord data[4], ver[4];
+  for (auto& w : data) w.store(encodeVal(0));
+  for (auto& w : ver) w.store(encodeVal(100));
+
+  std::uint64_t v = 0;
+  out[0] = timeCell(n, [&] {  // exec_k1
+    dom->begin();
+    dom->addEntry(&data[0], encodeVal(v), encodeVal(v + 1));
+    if (dom->execute(false) != ExecResult::kSucceeded) std::abort();
+    ++v;
+  });
+
+  v = 0;
+  out[1] = timeCell(n, [&] {  // vexec_k1p1
+    dom->begin();
+    dom->addPath(&ver[0], encodeVal(100));
+    dom->addEntry(&data[1], encodeVal(v), encodeVal(v + 1));
+    if (dom->execute(true) != ExecResult::kSucceeded) std::abort();
+    ++v;
+  });
+
+  v = 0;
+  std::uint64_t vv = 100;
+  out[2] = timeCell(n, [&] {  // exec_k4: 2 data + 2 version entries
+    dom->begin();
+    dom->addEntry(&data[2], encodeVal(v), encodeVal(v + 1));
+    dom->addEntry(&data[3], encodeVal(v), encodeVal(v + 1));
+    dom->addVerEntry(&ver[1], encodeVal(vv), encodeVal(vv + 2));
+    dom->addVerEntry(&ver[2], encodeVal(vv), encodeVal(vv + 2));
+    if (dom->execute(false) != ExecResult::kSucceeded) std::abort();
+    ++v;
+    vv += 2;
+  });
+
+  v = 0;
+  vv = 100;
+  data[2].store(encodeVal(0));
+  ver[1].store(encodeVal(100));  // rewound: exec_k4 above bumped it
+  out[3] = timeCell(n, [&] {  // vexec_k2p2: the BST insert shape
+    dom->begin();
+    dom->addPath(&ver[0], encodeVal(100));
+    dom->addPath(&ver[3], encodeVal(100));
+    dom->addEntry(&data[2], encodeVal(v), encodeVal(v + 1));
+    dom->addVerEntry(&ver[1], encodeVal(vv), encodeVal(vv + 2));
+    if (dom->execute(true) != ExecResult::kSucceeded) std::abort();
+    ++v;
+    vv += 2;
+  });
+
+  std::printf("%-22s", config);
+  for (const auto& c : out) std::printf("  %8.1f", c.nsPerOp);
+  std::printf("\n");
+  for (int i = 0; i < kOps; ++i) {
+    std::printf("csv,ablation_hotpath,%s,%s,%.2f,%.1f\n", config, kOpNames[i],
+                out[i].nsPerOp, out[i].cyclesPerOp);
+  }
+  delete dom;
+}
+
+}  // namespace
+
+int main() {
+  ThreadGuard tg;
+  std::printf("== ablation_hotpath: KcasPolicy attribution "
+              "(%llu iters/cell, ns/op) ==\n",
+              static_cast<unsigned long long>(iters()));
+  std::printf("%-22s", "config");
+  for (const char* op : kOpNames) std::printf("  %8s", op);
+  std::printf("\n");
+
+  CellResult base[kOps], fast[kOps], fence[kOps], layout[kOps], tuned[kOps];
+  runConfig<KcasPolicy<false, false, 0>>("baseline(legacy)", base);
+  runConfig<KcasPolicy<true, false, 0>>("+fastpaths", fast);
+  runConfig<KcasPolicy<false, true, 0>>("+fences", fence);
+  runConfig<KcasPolicy<false, false, 8>>("+hotlayout", layout);
+  runConfig<KcasPolicy<true, true, 8>>("tuned(all)", tuned);
+
+  std::printf("\nspeedup vs baseline (x):\n%-22s", "config");
+  for (const char* op : kOpNames) std::printf("  %8s", op);
+  std::printf("\n");
+  struct Row {
+    const char* name;
+    CellResult* cells;
+  } rows[] = {{"+fastpaths", fast},
+              {"+fences", fence},
+              {"+hotlayout", layout},
+              {"tuned(all)", tuned}};
+  for (const auto& row : rows) {
+    std::printf("%-22s", row.name);
+    for (int i = 0; i < kOps; ++i)
+      std::printf("  %8.2f", base[i].nsPerOp / row.cells[i].nsPerOp);
+    std::printf("\n");
+  }
+  return 0;
+}

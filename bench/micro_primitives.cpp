@@ -64,6 +64,50 @@ void BM_VisitValidateSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_VisitValidateSweep)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+// The degenerate-fast-path counters (ISSUE 5): a k=1 exec commits with one
+// CAS (no descriptor publication), a k=1-with-one-visit vexec with one DCSS.
+// Compare against BM_KcasWidthSweep/1 history and bench/ablation_hotpath for
+// the before/after attribution.
+void BM_ExecK1(benchmark::State& state) {
+  BenchNode n;
+  for (auto _ : state) {
+    start();
+    const std::int64_t v = n.val;
+    add(n.val, v, v + 1);
+    benchmark::DoNotOptimize(exec());
+  }
+}
+BENCHMARK(BM_ExecK1);
+
+void BM_VexecK1Path(benchmark::State& state) {
+  BenchNode guard, target;
+  for (auto _ : state) {
+    start();
+    benchmark::DoNotOptimize(visit(&guard));
+    const std::int64_t v = target.val;
+    add(target.val, v, v + 1);
+    benchmark::DoNotOptimize(vexec());
+  }
+}
+BENCHMARK(BM_VexecK1Path);
+
+// Raw DCSS publication + install + completion cost (the unit phase 1 pays
+// per entry, and the whole commit of the k=1-with-path fast path).
+void BM_DcssPublish(benchmark::State& state) {
+  k::AtomicWord guard{k::encodeVal(7)}, target{k::encodeVal(0)};
+  auto& dom = k::DefaultDomain::instance();
+  std::uint64_t v = 0;
+  for (auto _ : state) {
+    bool committed = false;
+    benchmark::DoNotOptimize(
+        dom.dcss(&guard, k::encodeVal(7), &target, k::encodeVal(v),
+                 k::encodeVal(v + 1), &committed));
+    benchmark::DoNotOptimize(committed);
+    ++v;
+  }
+}
+BENCHMARK(BM_DcssPublish);
+
 void BM_VexecOneVisitOneAdd(benchmark::State& state) {
   BenchNode parent, target;
   for (auto _ : state) {

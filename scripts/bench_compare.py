@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff two PATHCAS_BENCH_JSON files and flag throughput regressions.
+
+Every bench driver appends one JSON object per trial when PATHCAS_BENCH_JSON
+is set (schema: docs/BENCHMARKING.md). This tool joins two such files on the
+trial identity — (experiment, algo, threads, key_range, dist, mix, update_pct,
+rq_pct, rq_size) — averages duplicate rows (re-runs), and reports the
+per-cell `mops` delta. It exits nonzero when any cell regresses by more than
+--threshold-pct, so CI can gate on it; the repo's CI runs it as an
+*informational* step (continue-on-error) against the committed
+BENCH_baseline.json, because absolute throughput is machine-dependent — the
+committed baseline pins the numbers of the machine that produced it, and the
+step's value is the printed per-cell trend, not a hard pass/fail across
+heterogeneous runners. Re-baseline on one machine (see docs/BENCHMARKING.md,
+"Comparing runs") for a gate that means something.
+
+Usage:
+  scripts/bench_compare.py BASELINE.json NEW.json [--threshold-pct 25]
+      [--min-mops 0.01]
+
+Exit codes: 0 ok, 1 regression past threshold, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+KEY_FIELDS = (
+    "experiment",
+    "algo",
+    "threads",
+    "key_range",
+    "dist",
+    "mix",
+    "update_pct",
+    "rq_pct",
+    "rq_size",
+)
+
+
+def load(path):
+    """Return {trial-key: mean mops} for a JSON Lines bench file."""
+    sums = defaultdict(float)
+    counts = defaultdict(int)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as e:
+                    print(f"{path}:{lineno}: bad JSON: {e}", file=sys.stderr)
+                    sys.exit(2)
+                try:
+                    key = tuple(row[k] for k in KEY_FIELDS)
+                    mops = float(row["mops"])
+                except KeyError as e:
+                    print(f"{path}:{lineno}: missing field {e}", file=sys.stderr)
+                    sys.exit(2)
+                sums[key] += mops
+                counts[key] += 1
+    except OSError as e:
+        print(f"cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    return {k: sums[k] / counts[k] for k in sums}
+
+
+def fmt_key(key):
+    d = dict(zip(KEY_FIELDS, key))
+    return (
+        f"{d['experiment']}/{d['algo']} t={d['threads']} {d['dist']} "
+        f"{d['mix']} range={d['key_range']} u={d['update_pct']}%"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=25.0,
+        help="fail when any cell's mops drops by more than this percentage "
+        "(default: %(default)s)",
+    )
+    ap.add_argument(
+        "--min-mops",
+        type=float,
+        default=0.01,
+        help="ignore cells whose baseline throughput is below this (too "
+        "noisy to compare; default: %(default)s)",
+    )
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+    if not base:
+        print(f"{args.baseline}: no trials", file=sys.stderr)
+        sys.exit(2)
+    if not new:
+        print(f"{args.new}: no trials", file=sys.stderr)
+        sys.exit(2)
+
+    shared = sorted(set(base) & set(new))
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+
+    regressions = []
+    print(f"{'delta%':>8}  {'base':>9}  {'new':>9}  trial")
+    for key in shared:
+        b, n = base[key], new[key]
+        if b < args.min_mops:
+            continue
+        delta = (n - b) / b * 100.0
+        marker = ""
+        if delta < -args.threshold_pct:
+            marker = "  << REGRESSION"
+            regressions.append((key, b, n, delta))
+        print(f"{delta:+8.1f}  {b:9.3f}  {n:9.3f}  {fmt_key(key)}{marker}")
+
+    for key in only_base:
+        print(f"    gone  {base[key]:9.3f}  {'-':>9}  {fmt_key(key)}")
+    for key in only_new:
+        print(f"     new  {'-':>9}  {new[key]:9.3f}  {fmt_key(key)}")
+
+    if not shared:
+        print("no overlapping trials between the two files", file=sys.stderr)
+        sys.exit(2)
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} cell(s) regressed past "
+            f"{args.threshold_pct:.0f}%:",
+            file=sys.stderr,
+        )
+        for key, b, n, delta in regressions:
+            print(f"  {fmt_key(key)}: {b:.3f} -> {n:.3f} ({delta:+.1f}%)",
+                  file=sys.stderr)
+        sys.exit(1)
+    print(f"\nok: {len(shared)} cell(s) within {args.threshold_pct:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

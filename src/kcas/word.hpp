@@ -53,7 +53,10 @@ inline int refTid(word_t w) {
 }
 inline std::uint64_t refSeq(word_t w) { return w >> kRefShift; }
 
-/// KCAS descriptor status word: [ seq : 62 | state : 2 ].
+/// Descriptor status word: [ seq : 62 | state : 2 ]. Used by the KCAS
+/// descriptor's seqState and, since the commit-path overhaul, by the DCSS
+/// descriptor's seqStatus (where the state half records the decision when
+/// the owner asked for outcome reporting — see KcasDomain::dcss).
 enum class State : std::uint64_t { kUndecided = 0, kSucceeded = 1, kFailed = 2 };
 
 inline word_t packSeqState(std::uint64_t seq, State s) {

@@ -111,6 +111,21 @@ Version visit(Node* n) {
   return visitVer(n->ver);
 }
 
+/// Prefetch the node a casword<Node*> currently points at (PATHCAS_PREFETCH
+/// in util/defs.hpp). The pointer is sampled with a raw relaxed load — it may
+/// be mid-flight or immediately stale — which is fine for a hint: traversals
+/// must still re-read the child through the casword AFTER visiting its
+/// parent (the version must be recorded before any dependent data read), and
+/// a word holding a descriptor is simply skipped.
+template <typename T>
+inline void prefetch(const casword<T*>& w) {
+  const k::word_t raw = w.addr()->load(std::memory_order_relaxed);
+  if (!k::isDescriptor(raw)) {
+    PATHCAS_PREFETCH(reinterpret_cast<const void*>(
+        static_cast<std::int64_t>(raw) >> 2));
+  }
+}
+
 /// validate(): true iff no visited node has changed (or was marked) since it
 /// was visited. May fail spuriously (visited node locked by an in-flight
 /// operation).

@@ -295,7 +295,13 @@ class IntAvlPathCas {
       parent = curr;
       parentVer = currVer;
       curr = next;
-      if (curr != nullptr) currVer = visit(curr);
+      if (curr != nullptr) {
+        // Warm the likely-next level while visit() pays this node's
+        // validation cost (PATHCAS_PREFETCH: hint only, re-read after).
+        prefetch(curr->left);
+        prefetch(curr->right);
+        currVer = visit(curr);
+      }
     }
     return {false, nullptr, 0, parent, parentVer};
   }
@@ -312,6 +318,7 @@ class IntAvlPathCas {
       succP = succ;
       succPVer = succVer;
       succ = next;
+      prefetch(succ->left);
       succVer = visit(next);
     }
   }

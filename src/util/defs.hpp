@@ -47,4 +47,15 @@ inline constexpr int kMaxThreads = 256;
 #define PATHCAS_UNLIKELY(x) (x)
 #endif
 
+/// Best-effort read-prefetch of the cache line at p. Traversals issue it for
+/// the likely-next node while visit() pays the current node's validation
+/// cost. Purely a hint — never faults, carries no memory-ordering semantics
+/// — so it is safe on addresses decoded from racy raw loads. Define
+/// PATHCAS_NO_PREFETCH to compile it out (the ablation baseline).
+#if defined(__GNUC__) && !defined(PATHCAS_NO_PREFETCH)
+#define PATHCAS_PREFETCH(p) __builtin_prefetch((p), 0, 3)
+#else
+#define PATHCAS_PREFETCH(p) ((void)0)
+#endif
+
 }  // namespace pathcas

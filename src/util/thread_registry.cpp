@@ -1,9 +1,8 @@
 #include "util/thread_registry.hpp"
 
 namespace pathcas {
-namespace {
-thread_local int tlsTid = -1;
-}  // namespace
+
+using detail::tlsTid;
 
 ThreadRegistry& ThreadRegistry::instance() {
   static ThreadRegistry registry;
@@ -33,11 +32,6 @@ void ThreadRegistry::deregisterThread() {
   if (tlsTid < 0) return;
   used_[tlsTid]->store(false, std::memory_order_release);
   tlsTid = -1;
-}
-
-int ThreadRegistry::tid() {
-  if (PATHCAS_UNLIKELY(tlsTid < 0)) instance().registerThread();
-  return tlsTid;
 }
 
 }  // namespace pathcas

@@ -13,6 +13,14 @@
 
 namespace pathcas {
 
+namespace detail {
+/// The calling thread's dense id, or -1 before registration. Lives in the
+/// header so tid() inlines to a TLS load plus a never-taken branch — it is
+/// on the staging hot path (begin/addEntry/visit resolve it per call).
+/// Written only by ThreadRegistry.
+inline thread_local int tlsTid = -1;
+}  // namespace detail
+
 class ThreadRegistry {
  public:
   static ThreadRegistry& instance();
@@ -24,7 +32,11 @@ class ThreadRegistry {
   void deregisterThread();
 
   /// Id of the calling thread; registers lazily on first use.
-  static int tid();
+  static int tid() {
+    const int t = detail::tlsTid;
+    if (PATHCAS_UNLIKELY(t < 0)) return instance().registerThread();
+    return t;
+  }
 
   /// Upper bound (exclusive) on ids ever handed out; iterate [0, maxTid())
   /// when scanning announcement arrays.

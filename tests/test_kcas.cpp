@@ -1,14 +1,20 @@
 // Tests for the KCAS substrate: word encoding, single- and multi-threaded
-// KCAS semantics, helping via readEncoded, and the validation phase at the
-// descriptor level.
+// KCAS semantics, helping via readEncoded, the validation phase at the
+// descriptor level, and the degenerate k=1 fast paths (plain-CAS and
+// DCSS-guarded commits) racing descriptor-based operations — including a
+// lin_check.hpp-driven linearizability stress that mixes every commit
+// flavour (fast A, fast B, validation-only, general) on shared words.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
+#include <set>
 #include <thread>
 #include <vector>
 
 #include "kcas/kcas.hpp"
 #include "kcas/word.hpp"
+#include "lin_check.hpp"
 #include "util/rand.hpp"
 #include "util/thread_registry.hpp"
 
@@ -186,6 +192,43 @@ TEST_F(KcasTest, PromoteSkipsVersionsWithRealEntries) {
   EXPECT_EQ(load(ver), 102u);
 }
 
+TEST_F(KcasTest, WideUnsortedStagingSortsOnExecute) {
+  // More entries than the sorted-staging bound (8), added in descending
+  // address order: the MCMS-shaped append path must defer-sort on execute
+  // so helpers still lock in one global order.
+  constexpr int kWide = 12;
+  AtomicWord w[kWide];
+  for (word_t i = 0; i < kWide; ++i) store(w[i], i);
+  domain.begin();
+  for (int i = kWide - 1; i >= 0; --i)
+    domain.addEntry(&w[i], encodeVal(static_cast<word_t>(i)),
+                    encodeVal(static_cast<word_t>(100 + i)));
+  EXPECT_EQ(domain.execute(false), ExecResult::kSucceeded);
+  for (word_t i = 0; i < kWide; ++i) EXPECT_EQ(load(w[i]), 100u + i);
+}
+
+TEST_F(KcasTest, PromoteMergesWidePathSkippingDuplicates) {
+  // Wide visited set incl. a duplicate visit and a slot aliasing the real
+  // entry: the sort-dedup-merge must keep one promoted entry per distinct
+  // version word and none for the aliased address.
+  constexpr int kVers = 10;
+  AtomicWord target, vers[kVers];
+  store(target, 1);
+  for (word_t i = 0; i < kVers; ++i) store(vers[i], 100 + 2 * i);
+  domain.begin();
+  domain.addEntry(&target, encodeVal(1), encodeVal(2));
+  for (word_t i = 0; i < kVers; ++i)
+    domain.addPath(&vers[i], encodeVal(100 + 2 * i));
+  domain.addPath(&vers[3], encodeVal(106));  // node visited twice
+  domain.addPath(&target, encodeVal(1));     // aliases the real entry
+  domain.promotePathToEntries();
+  EXPECT_EQ(domain.numStagedPath(), 0);
+  EXPECT_EQ(domain.numStagedEntries(), 1 + kVers);
+  EXPECT_EQ(domain.execute(false), ExecResult::kSucceeded);
+  EXPECT_EQ(load(target), 2u);
+  for (word_t i = 0; i < kVers; ++i) EXPECT_EQ(load(vers[i]), 100u + 2 * i);
+}
+
 TEST_F(KcasTest, StagingPreservedAcrossFailedExecute) {
   AtomicWord a;
   store(a, 5);
@@ -196,6 +239,108 @@ TEST_F(KcasTest, StagingPreservedAcrossFailedExecute) {
   store(a, 4);
   EXPECT_EQ(domain.execute(false), ExecResult::kSucceeded);
   EXPECT_EQ(load(a), 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate fast paths (k=1), deterministic coverage. Note SingleWord* and
+// ZeroEntryExecuteSucceeds above already route through the fast paths.
+// ---------------------------------------------------------------------------
+
+TEST_F(KcasTest, K1PathFastPathCommitsWhenGuardHolds) {
+  AtomicWord target, ver;
+  store(target, 1);
+  store(ver, 100);
+  domain.begin();
+  domain.addEntry(&target, encodeVal(1), encodeVal(2));
+  domain.addPath(&ver, encodeVal(100));
+  EXPECT_EQ(domain.execute(true), ExecResult::kSucceeded);
+  EXPECT_EQ(load(target), 2u);
+  EXPECT_EQ(load(ver), 100u);
+}
+
+TEST_F(KcasTest, K1PathFastPathFailsWhenGuardMoved) {
+  AtomicWord target, ver;
+  store(target, 1);
+  store(ver, 100);
+  domain.begin();
+  domain.addEntry(&target, encodeVal(1), encodeVal(2));
+  domain.addPath(&ver, encodeVal(100));
+  store(ver, 102);  // version bumped between visit and commit
+  EXPECT_EQ(domain.execute(true), ExecResult::kFailedValidation);
+  EXPECT_EQ(load(target), 1u);
+}
+
+TEST_F(KcasTest, K1PathFastPathFailsOnMarkedGuard) {
+  AtomicWord target, ver;
+  store(target, 1);
+  store(ver, 101);  // bit 0 set: visited node was already unlinked
+  domain.begin();
+  domain.addEntry(&target, encodeVal(1), encodeVal(2));
+  domain.addPath(&ver, encodeVal(101));
+  EXPECT_EQ(domain.execute(true), ExecResult::kFailedValidation);
+  EXPECT_EQ(load(target), 1u);
+}
+
+TEST_F(KcasTest, K1PathFastPathValueMismatchIsGenuine) {
+  AtomicWord target, ver;
+  store(target, 7);
+  store(ver, 100);
+  domain.begin();
+  domain.addEntry(&target, encodeVal(1), encodeVal(2));
+  domain.addPath(&ver, encodeVal(100));
+  EXPECT_EQ(domain.execute(true), ExecResult::kFailedValue);
+  EXPECT_EQ(load(target), 7u);
+}
+
+TEST_F(KcasTest, K1PathAliasingEntryIsSubsumedByTheCas) {
+  // Path slot on the same word as the single entry: the entry's old-value
+  // check is the only constraint (Algorithm 2 accepts our own lock), so the
+  // fast path must not double-require the path expectation.
+  AtomicWord ver;
+  store(ver, 100);
+  domain.begin();
+  domain.addEntry(&ver, encodeVal(100), encodeVal(102));
+  domain.addPath(&ver, encodeVal(100));
+  EXPECT_EQ(domain.execute(true), ExecResult::kSucceeded);
+  EXPECT_EQ(load(ver), 102u);
+}
+
+TEST_F(KcasTest, ValidationOnlyExecuteUsesReadPass) {
+  // k=0 with a path: the degenerate validation-only commit.
+  AtomicWord ver;
+  store(ver, 100);
+  domain.begin();
+  domain.addPath(&ver, encodeVal(100));
+  EXPECT_EQ(domain.execute(true), ExecResult::kSucceeded);
+  domain.begin();
+  domain.addPath(&ver, encodeVal(98));
+  EXPECT_EQ(domain.execute(true), ExecResult::kFailedValidation);
+}
+
+TEST_F(KcasTest, DcssReportsOutcome) {
+  AtomicWord guard, target;
+  store(guard, 5);
+  store(target, 10);
+  // Guard holds: swap commits, outcome true.
+  bool committed = false;
+  EXPECT_EQ(domain.dcss(&guard, encodeVal(5), &target, encodeVal(10),
+                        encodeVal(11), &committed),
+            encodeVal(10));
+  EXPECT_TRUE(committed);
+  EXPECT_EQ(load(target), 11u);
+  // Guard mismatch: descriptor installs, decision reverts, outcome false.
+  committed = true;
+  EXPECT_EQ(domain.dcss(&guard, encodeVal(6), &target, encodeVal(11),
+                        encodeVal(12), &committed),
+            encodeVal(11));
+  EXPECT_FALSE(committed);
+  EXPECT_EQ(load(target), 11u);
+  // Target mismatch: no install, seen value returned, outcome untouched.
+  committed = true;
+  EXPECT_EQ(domain.dcss(&guard, encodeVal(5), &target, encodeVal(99),
+                        encodeVal(100), &committed),
+            encodeVal(11));
+  EXPECT_EQ(load(target), 11u);
 }
 
 // ---------------------------------------------------------------------------
@@ -299,5 +444,251 @@ TEST_F(KcasTest, ReadersNeverSeeDescriptors) {
   writer.join();
 }
 
+// ---------------------------------------------------------------------------
+// Descriptor-injection races against the k=1 fast paths: a fast-path commit
+// repeatedly lands on words that hold live KCAS/DCSS descriptors published
+// by a concurrent general-path writer, so it must help them to completion
+// (never spin, never tear). Counters encode who did what: X's low half is
+// only ever incremented by the general-path writer (which keeps it equal to
+// Y), the high half only by the fast path.
+// ---------------------------------------------------------------------------
+
+TEST_F(KcasTest, K1FastPathVsConcurrentHelper) {
+  constexpr word_t kHigh = 1u << 20;
+  constexpr int kOps = 20000;
+  AtomicWord x, y;
+  store(x, 0);
+  store(y, 0);
+  std::thread general([&] {
+    ThreadGuard tg;
+    for (int i = 0; i < kOps; ++i) {
+      for (;;) {
+        const word_t xv = decodeVal(domain.readEncoded(&x));
+        const word_t yv = decodeVal(domain.readEncoded(&y));
+        ASSERT_EQ(xv % kHigh, yv);  // snapshot may be stale but never torn low
+        domain.begin();
+        domain.addEntry(&x, encodeVal(xv), encodeVal(xv + 1));
+        domain.addEntry(&y, encodeVal(yv), encodeVal(yv + 1));
+        if (domain.execute(false) == ExecResult::kSucceeded) break;
+      }
+    }
+  });
+  {
+    ThreadGuard tg;
+    for (int i = 0; i < kOps; ++i) {
+      for (;;) {
+        const word_t xv = decodeVal(domain.readEncoded(&x));
+        domain.begin();
+        domain.addEntry(&x, encodeVal(xv), encodeVal(xv + kHigh));
+        if (domain.execute(false) == ExecResult::kSucceeded) break;
+      }
+    }
+  }
+  general.join();
+  EXPECT_EQ(load(x) / kHigh, static_cast<word_t>(kOps));   // fast-path ops
+  EXPECT_EQ(load(x) % kHigh, static_cast<word_t>(kOps));   // general ops
+  EXPECT_EQ(load(y), static_cast<word_t>(kOps));
+}
+
+TEST_F(KcasTest, K1PathFastPathVsGuardChurnAndPromotion) {
+  // Fast-path B writer: increments X's low half guarded on version V being
+  // unchanged. Churn writer: bumps V and X's high half together through the
+  // general path. Every fast-path failure is classified and, to also cover
+  // the §3.5 escalation against the fast paths, periodically resolved by
+  // promoting the path and locking V (strong path) instead of re-validating.
+  constexpr word_t kHigh = 1u << 20;
+  constexpr int kOps = 15000;
+  AtomicWord x, v;
+  store(x, 0);
+  store(v, 100);
+  std::thread churn([&] {
+    ThreadGuard tg;
+    for (int i = 0; i < kOps; ++i) {
+      for (;;) {
+        const word_t xv = decodeVal(domain.readEncoded(&x));
+        const word_t vv = decodeVal(domain.readEncoded(&v));
+        domain.begin();
+        domain.addEntry(&x, encodeVal(xv), encodeVal(xv + kHigh));
+        domain.addVerEntry(&v, encodeVal(vv), encodeVal(vv + 2));
+        if (domain.execute(false) == ExecResult::kSucceeded) break;
+      }
+    }
+  });
+  {
+    ThreadGuard tg;
+    Xoshiro256 rng(42);
+    for (int i = 0; i < kOps; ++i) {
+      for (int attempt = 0;; ++attempt) {
+        const word_t vv = decodeVal(domain.readEncoded(&v));
+        const word_t xv = decodeVal(domain.readEncoded(&x));
+        domain.begin();
+        domain.addPath(&v, encodeVal(vv));
+        domain.addEntry(&x, encodeVal(xv), encodeVal(xv + 1));
+        const bool strong = attempt > 0 && rng.nextBounded(4) == 0;
+        if (strong) {
+          // §3.5 strong path: lock the visited version instead of
+          // validating it (never mark-doomed here: versions stay even).
+          ASSERT_FALSE(domain.stagedMarkDoomed());
+          domain.promotePathToEntries();
+          ASSERT_EQ(domain.numStagedPath(), 0);
+          if (domain.execute(false) == ExecResult::kSucceeded) break;
+        } else {
+          const ExecResult r = domain.execute(true);
+          if (r == ExecResult::kSucceeded) break;
+          // kFailedValue means X itself moved (churn committed); validation
+          // failures mean V moved or was locked. Either way: re-read, retry.
+        }
+      }
+    }
+  }
+  churn.join();
+  EXPECT_EQ(load(x) / kHigh, static_cast<word_t>(kOps));
+  EXPECT_EQ(load(x) % kHigh, static_cast<word_t>(kOps));
+  EXPECT_EQ(load(v), 100u + 2u * kOps);
+}
+
 }  // namespace
 }  // namespace pathcas::k
+
+// ---------------------------------------------------------------------------
+// Linearizability stress (tests/lin_check.hpp) over a tiny set implemented
+// directly on the KCAS commit flavours, so every fast-path variant races
+// every other on shared words:
+//   insert      — k=1 entry + 1 path guard            (fast path B)
+//   erase, odd  — plain k=1 CAS                        (fast path A)
+//   erase, even — k=2 with a version bump              (general path)
+//   contains, even — k=0 validated read                (validation-only)
+//   contains, odd  — helping read                      (readEncoded)
+// Barrier-separated rounds + the window checker prove every interleaving
+// the race actually produced was linearizable.
+// ---------------------------------------------------------------------------
+
+namespace pathcas::testing {
+namespace {
+
+using namespace pathcas::k;
+
+class FastPathLinSet {
+ public:
+  using Domain = KcasDomain<16, 32>;
+
+  FastPathLinSet() {
+    for (auto& w : val_) w.store(encodeVal(0));
+    gver_.store(encodeVal(100));
+  }
+
+  bool insert(std::int64_t key) {
+    auto& w = val_[key];
+    for (;;) {
+      const word_t g = dom_.readEncoded(&gver_);
+      dom_.begin();
+      dom_.addPath(&gver_, g);
+      dom_.addEntry(&w, encodeVal(0), encodeVal(1));
+      switch (dom_.execute(true)) {
+        case ExecResult::kSucceeded:
+          return true;
+        case ExecResult::kFailedValue:
+          return false;  // already present at the commit attempt
+        case ExecResult::kFailedValidation:
+          break;  // guard moved or was locked: re-read and retry
+      }
+    }
+  }
+
+  bool erase(std::int64_t key) {
+    auto& w = val_[key];
+    if (key % 2 == 1) {
+      // Fast path A: the erase is one CAS.
+      dom_.begin();
+      dom_.addEntry(&w, encodeVal(1), encodeVal(0));
+      return dom_.execute(false) == ExecResult::kSucceeded;
+    }
+    // General path: remove the key and bump the shared guard atomically.
+    for (;;) {
+      const word_t g = dom_.readEncoded(&gver_);
+      dom_.begin();
+      dom_.addEntry(&w, encodeVal(1), encodeVal(0));
+      dom_.addVerEntry(&gver_, g, encodeVal(decodeVal(g) + 2));
+      if (dom_.execute(false) == ExecResult::kSucceeded) return true;
+      // Failure is ambiguous (key gone, or the guard moved): a raw read of
+      // the key decides, and is itself a linearization point.
+      if (decodeVal(dom_.readEncoded(&w)) == 0) return false;
+    }
+  }
+
+  bool contains(std::int64_t key) {
+    auto& w = val_[key];
+    if (key % 2 == 1) return decodeVal(dom_.readEncoded(&w)) != 0;
+    for (;;) {
+      const word_t g = dom_.readEncoded(&gver_);
+      const bool present = decodeVal(dom_.readEncoded(&w)) != 0;
+      dom_.begin();
+      dom_.addPath(&gver_, g);
+      if (dom_.execute(true) == ExecResult::kSucceeded) return present;
+    }
+  }
+
+ private:
+  Domain dom_;
+  AtomicWord val_[64];
+  AtomicWord gver_;
+};
+
+TEST(KcasFastPathLinearizable, MixedCommitFlavours) {
+  constexpr int kThreads = 3, kRounds = 2500;
+  constexpr std::int64_t kKeySpace = 8;
+  FastPathLinSet set;
+  std::atomic<std::uint64_t> clock{0};
+  std::vector<RecordedOp> history(
+      static_cast<std::size_t>(kRounds * kThreads));
+  std::barrier barrier(kThreads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(7000 + static_cast<std::uint64_t>(t));
+      for (int r = 0; r < kRounds; ++r) {
+        barrier.arrive_and_wait();
+        RecordedOp rec;
+        const std::int64_t k = static_cast<std::int64_t>(
+            rng.nextBounded(static_cast<std::uint64_t>(kKeySpace)));
+        const std::uint64_t dice = rng.nextBounded(100);
+        rec.a = k;
+        rec.inv = clock.fetch_add(1);
+        if (dice < 40) {
+          rec.kind = OpKind::kInsert;
+          rec.boolResult = set.insert(k);
+        } else if (dice < 80) {
+          rec.kind = OpKind::kErase;
+          rec.boolResult = set.erase(k);
+        } else {
+          rec.kind = OpKind::kContains;
+          rec.boolResult = set.contains(k);
+        }
+        rec.res = clock.fetch_add(1);
+        history[static_cast<std::size_t>(r * kThreads + t)] = std::move(rec);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::set<LinState> states = {0};
+  for (int r = 0; r < kRounds; ++r) {
+    const std::vector<RecordedOp> window(
+        history.begin() + static_cast<std::ptrdiff_t>(r * kThreads),
+        history.begin() + static_cast<std::ptrdiff_t>((r + 1) * kThreads));
+    states = linearizeWindow(window, states);
+    ASSERT_FALSE(states.empty())
+        << "history not linearizable at window " << r << ": "
+        << describeWindow(window);
+  }
+  LinState finalMask = 0;
+  for (std::int64_t k = 0; k < kKeySpace; ++k) {
+    if (set.contains(k)) finalMask |= LinState{1} << k;
+  }
+  EXPECT_TRUE(states.count(finalMask))
+      << "final contents not among the linearizable outcomes";
+}
+
+}  // namespace
+}  // namespace pathcas::testing
