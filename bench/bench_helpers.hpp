@@ -13,6 +13,8 @@
 //                          applyEnvWorkload)
 //   PATHCAS_BENCH_MIX      operation-mix preset override (ycsb-a/b/c/e,
 //                          u0/u1/u10/u50/u100)
+//   PATHCAS_BENCH_SHARDS   comma-separated shard counts for the sharded-
+//                          frontend sweeps (default "1,2,4,8")
 //   PATHCAS_BENCH_JSON     JSON Lines sink, one object per trial
 #pragma once
 
@@ -21,6 +23,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "bench_fw/adapters.hpp"
@@ -29,35 +33,56 @@
 
 namespace pathcas::bench {
 
+/// Parse a comma-separated int list with every element in [1, maxValue].
+/// Returns false (leaving *out untouched beyond scratch) on any malformed
+/// input, so callers can fall back to their default and warn once.
+inline bool parseIntList(const char* s, int maxValue, std::vector<int>* out) {
+  std::vector<int> vals;
+  int cur = 0;
+  bool haveDigit = false;
+  for (const char* p = s;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      cur = cur * 10 + (*p - '0');
+      haveDigit = true;
+      if (cur > maxValue) return false;
+    } else if (*p == ',' || *p == '\0') {
+      if (!haveDigit || cur < 1) return false;
+      vals.push_back(cur);
+      cur = 0;
+      haveDigit = false;
+      if (*p == '\0') break;
+    } else {
+      return false;
+    }
+  }
+  if (vals.empty()) return false;
+  *out = std::move(vals);
+  return true;
+}
+
 /// Thread counts for each sweep: PATHCAS_BENCH_THREADS ("4" or "1,2,4,8,16")
 /// when set and well-formed, else {1, 2, 4, 8}.
 inline std::vector<int> defaultThreads() {
   if (const char* s = std::getenv("PATHCAS_BENCH_THREADS")) {
     std::vector<int> out;
-    int cur = 0;
-    bool haveDigit = false, ok = true;
-    for (const char* p = s;; ++p) {
-      if (*p >= '0' && *p <= '9') {
-        cur = cur * 10 + (*p - '0');
-        haveDigit = true;
-        if (cur > kMaxThreads) {
-          ok = false;
-          cur = kMaxThreads + 1;  // clamp: further digits must not overflow
-        }
-      } else if (*p == ',' || *p == '\0') {
-        if (!haveDigit || cur < 1) ok = false;
-        out.push_back(cur);
-        cur = 0;
-        haveDigit = false;
-        if (*p == '\0') break;
-      } else {
-        ok = false;
-        break;
-      }
-    }
-    if (ok && !out.empty()) return out;
+    if (parseIntList(s, kMaxThreads, &out)) return out;
     std::fprintf(stderr,
                  "ignoring malformed PATHCAS_BENCH_THREADS=\"%s\" "
+                 "(want e.g. \"1,2,4,8\", counts in [1, %d])\n",
+                 s, kMaxThreads);
+  }
+  return {1, 2, 4, 8};
+}
+
+/// Shard counts for the sharded-frontend sweeps: PATHCAS_BENCH_SHARDS
+/// ("1,4") when set and well-formed, else {1, 2, 4, 8}. Capped at
+/// kMaxThreads — more shards than registerable threads is never useful.
+inline std::vector<int> defaultShards() {
+  if (const char* s = std::getenv("PATHCAS_BENCH_SHARDS")) {
+    std::vector<int> out;
+    if (parseIntList(s, kMaxThreads, &out)) return out;
+    std::fprintf(stderr,
+                 "ignoring malformed PATHCAS_BENCH_SHARDS=\"%s\" "
                  "(want e.g. \"1,2,4,8\", counts in [1, %d])\n",
                  s, kMaxThreads);
   }
@@ -130,8 +155,19 @@ std::vector<double> sweepThreads(const std::string& experiment,
   for (int t : threads) {
     TrialConfig cfg = base;
     cfg.threads = t;
-    const TrialResult r =
-        runCell([] { return std::make_unique<Adapter>(); }, cfg);
+    // Adapters constructible from the TrialConfig (the sharded frontends)
+    // get it, so cfg.shards / cfg.keyRange shape the instance; the rest
+    // default-construct as before.
+    const TrialResult r = runCell(
+        [&cfg] {
+          if constexpr (std::is_constructible_v<Adapter,
+                                                const TrialConfig&>) {
+            return std::make_unique<Adapter>(cfg);
+          } else {
+            return std::make_unique<Adapter>();
+          }
+        },
+        cfg);
     mops.push_back(r.mops);
     csv(experiment, Adapter::name(), cfg, r);
     jsonAppendTrial(experiment, Adapter::name(), cfg, r);

@@ -24,6 +24,14 @@ int main() {
     sweepThreads<TmAvlAdapter<stm::NOrec>>("fig03b", threads, base);
     sweepThreads<TmAvlAdapter<stm::TL2>>("fig03b", threads, base);
     sweepThreads<TmAvlAdapter<stm::GlobalLockTm>>("fig03b", threads, base);
+    // Sharded AVL frontend across PATHCAS_BENCH_SHARDS shard counts (the
+    // `shards` JSON column distinguishes the rows).
+    for (int nshards : defaultShards()) {
+      TrialConfig cfg = base;
+      cfg.shards = nshards;
+      std::printf("%-22s  (shards %d)\n", "sharded:", nshards);
+      sweepThreads<ShardedAvlAdapter<>>("fig03b", threads, cfg);
+    }
   }
   return 0;
 }

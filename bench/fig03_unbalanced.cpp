@@ -23,6 +23,14 @@ int main() {
     sweepThreads<PathCasBstAdapter<true>>("fig03u", threads, base);
     sweepThreads<EllenAdapter>("fig03u", threads, base);
     sweepThreads<TicketAdapter>("fig03u", threads, base);
+    // Sharded BST frontend across PATHCAS_BENCH_SHARDS shard counts (the
+    // `shards` JSON column distinguishes the rows).
+    for (int nshards : defaultShards()) {
+      TrialConfig cfg = base;
+      cfg.shards = nshards;
+      std::printf("%-22s  (shards %d)\n", "sharded:", nshards);
+      sweepThreads<ShardedBstAdapter<>>("fig03u", threads, cfg);
+    }
   }
   return 0;
 }

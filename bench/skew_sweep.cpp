@@ -4,7 +4,10 @@
 // PathCAS's validate-then-kcas design must pay retries/strong-path work —
 // uniform sweeps hide it. Alongside throughput, each cell reports the
 // per-thread op-count imbalance (max/min) and the structure footprint, so
-// skew-induced serialization and allocation imbalance are visible.
+// skew-induced serialization and allocation imbalance are visible. The
+// sharded frontends (service/sharded_map.hpp) join the sweep across
+// PATHCAS_BENCH_SHARDS shard counts — the skew-relief counterpart to the
+// plain structures' hot-set serialization.
 //
 // Default grid: dist ∈ {uniform, zipfian:0.60, zipfian:0.90, zipfian:0.99,
 // hotspot:0.2:0.8} × PATHCAS_BENCH_THREADS, at the default u10 mix. Setting
@@ -21,16 +24,17 @@ using namespace pathcas::testing;
 
 namespace {
 
-/// skew_sweep's CSV schema: identification + throughput + the two
-/// skew-visibility columns (thread-op imbalance, footprint).
+/// skew_sweep's CSV schema: identification (incl. shard count — 1 for the
+/// plain structures) + throughput + the two skew-visibility columns
+/// (thread-op imbalance, footprint).
 void printSkewCsv(const std::string& experiment, const std::string& algo,
                   const TrialConfig& cfg, const TrialResult& r) {
   const double imbalance =
       r.minThreadOps > 0 ? static_cast<double>(r.maxThreadOps) /
                                static_cast<double>(r.minThreadOps)
                          : 0.0;
-  std::printf("csv,%s,%s,%d,%lld,%s,%g,%s,%.3f,%llu,%llu,%.2f,%llu\n",
-              experiment.c_str(), algo.c_str(), cfg.threads,
+  std::printf("csv,%s,%s,%d,%d,%lld,%s,%g,%s,%.3f,%llu,%llu,%.2f,%llu\n",
+              experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards,
               static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
               cfg.dist.kind == DistKind::kZipfian ||
                       cfg.dist.kind == DistKind::kLatest
@@ -57,6 +61,20 @@ void runGrid(const std::vector<int>& threads, const TrialConfig& base) {
   sweepSkew<AbTreeAdapter>(threads, base);
   sweepSkew<EllenAdapter>(threads, base);
   sweepSkew<TicketAdapter>(threads, base);
+
+  // Sharded frontends (service/sharded_map.hpp): the skew-relief
+  // experiment. The Zipfian generator scrambles hot ranks across the key
+  // space, so range partitioning splits the hot set and each shard's
+  // private KCAS/EBR domains stop hot-key retries from rippling across the
+  // whole structure. Shard counts: PATHCAS_BENCH_SHARDS (default 1,2,4,8);
+  // the `shards` CSV/JSON column identifies each row.
+  for (int nshards : defaultShards()) {
+    TrialConfig cfg = base;
+    cfg.shards = nshards;
+    std::printf("%-22s  (shards %d)\n", "sharded:", nshards);
+    sweepSkew<ShardedBstAdapter<>>(threads, cfg);
+    sweepSkew<ShardedAvlAdapter<>>(threads, cfg);
+  }
 
   // The list's whole-prefix read set bounds it to small key ranges
   // (pathcas::kMaxVisited); sweep it in its own regime.

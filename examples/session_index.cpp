@@ -4,13 +4,23 @@
 // (deletes). The index must answer "is this session live, and what is its
 // user id" with high throughput from many server threads.
 //
+// The index owns its whole memory/synchronization stack through a
+// per-instance recl::DomainSet (private KCAS domain + EBR domain + node
+// pool) instead of the process-global singletons: every thread touching the
+// tree opens a k::ScopedDomain on the set's KCAS domain, and at shutdown the
+// stack tears down to exactly zero leaked nodes — asserted below, so this
+// example doubles as the DomainSet lifecycle smoke test.
+//
 //   build/examples/session_index
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "kcas/domain.hpp"
+#include "recl/domain_set.hpp"
 #include "trees/int_avl_pathcas.hpp"
+#include "util/defs.hpp"
 #include "util/rand.hpp"
 #include "util/thread_registry.hpp"
 #include "util/timing.hpp"
@@ -21,63 +31,85 @@ constexpr std::int64_t kSessionSpace = 1 << 18;
 constexpr int kServerThreads = 4;
 constexpr int kRunMs = 500;
 
+using SessionTree = pathcas::ds::IntAvlPathCas<std::int64_t, std::int64_t>;
+
 }  // namespace
 
 int main() {
-  pathcas::ds::IntAvlPathCas<std::int64_t, std::int64_t> sessions;
-
-  // Seed with half the session space "already logged in".
+  // The index's private stack. Declared before the tree (and destroyed
+  // after it), so the tree's nodes return to pools that are still alive.
+  pathcas::recl::DomainSet set;
   {
-    pathcas::Xoshiro256 rng(1);
-    for (std::int64_t i = 0; i < kSessionSpace / 2; ++i) {
-      const auto sid =
-          static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
-      sessions.insert(sid, /*userId=*/sid * 7);
-    }
-  }
+    SessionTree sessions({}, set.ebr(),
+                         &set.pool<typename SessionTree::Node>());
 
-  std::atomic<bool> stop{false};
-  std::atomic<std::uint64_t> lookups{0}, hits{0}, logins{0}, expiries{0};
-
-  std::vector<std::thread> servers;
-  for (int t = 0; t < kServerThreads; ++t) {
-    servers.emplace_back([&, t] {
-      pathcas::ThreadGuard guard;
-      pathcas::Xoshiro256 rng(100 + t);
-      while (!stop.load(std::memory_order_relaxed)) {
+    // Seed with half the session space "already logged in". Like every
+    // other access, seeding runs under the set's KCAS domain.
+    {
+      pathcas::k::ScopedDomain scope(set.kcas());
+      pathcas::Xoshiro256 rng(1);
+      for (std::int64_t i = 0; i < kSessionSpace / 2; ++i) {
         const auto sid =
             static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
-        const auto dice = rng.nextBounded(100);
-        if (dice < 95) {  // session lookup
-          if (sessions.get(sid).has_value()) hits.fetch_add(1);
-          lookups.fetch_add(1);
-        } else if (dice < 98) {  // login
-          if (sessions.insert(sid, sid * 7)) logins.fetch_add(1);
-        } else {  // expiry
-          if (sessions.erase(sid)) expiries.fetch_add(1);
-        }
+        sessions.insert(sid, /*userId=*/sid * 7);
       }
-    });
+    }
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> lookups{0}, hits{0}, logins{0}, expiries{0};
+
+    std::vector<std::thread> servers;
+    for (int t = 0; t < kServerThreads; ++t) {
+      servers.emplace_back([&, t] {
+        pathcas::ThreadGuard guard;
+        pathcas::k::ScopedDomain scope(set.kcas());
+        pathcas::Xoshiro256 rng(100 + t);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const auto sid =
+              static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
+          const auto dice = rng.nextBounded(100);
+          if (dice < 95) {  // session lookup
+            if (sessions.get(sid).has_value()) hits.fetch_add(1);
+            lookups.fetch_add(1);
+          } else if (dice < 98) {  // login
+            if (sessions.insert(sid, sid * 7)) logins.fetch_add(1);
+          } else {  // expiry
+            if (sessions.erase(sid)) expiries.fetch_add(1);
+          }
+        }
+      });
+    }
+
+    pathcas::StopWatch sw;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kRunMs));
+    stop.store(true);
+    for (auto& s : servers) s.join();
+    const double sec = sw.elapsedSeconds();
+
+    const auto total = lookups.load() + logins.load() + expiries.load();
+    std::printf("session index: %.2f M ops/s across %d threads\n",
+                static_cast<double>(total) / sec / 1e6, kServerThreads);
+    std::printf("  lookups   %10llu (%.1f%% hit rate)\n",
+                static_cast<unsigned long long>(lookups.load()),
+                100.0 * static_cast<double>(hits.load()) /
+                    static_cast<double>(lookups.load() ? lookups.load() : 1));
+    std::printf("  logins    %10llu\n",
+                static_cast<unsigned long long>(logins.load()));
+    std::printf("  expiries  %10llu\n",
+                static_cast<unsigned long long>(expiries.load()));
+    {
+      pathcas::k::ScopedDomain scope(set.kcas());
+      std::printf("  live sessions now: %llu\n",
+                  static_cast<unsigned long long>(sessions.size()));
+    }
+    // Expired sessions sit in EBR limbo; recycle them (all workers have
+    // joined, so the set is quiescent), then let the tree destructor return
+    // every remaining node to the set's pool.
+    set.drain();
   }
-
-  pathcas::StopWatch sw;
-  std::this_thread::sleep_for(std::chrono::milliseconds(kRunMs));
-  stop.store(true);
-  for (auto& s : servers) s.join();
-  const double sec = sw.elapsedSeconds();
-
-  const auto total = lookups.load() + logins.load() + expiries.load();
-  std::printf("session index: %.2f M ops/s across %d threads\n",
-              static_cast<double>(total) / sec / 1e6, kServerThreads);
-  std::printf("  lookups   %10llu (%.1f%% hit rate)\n",
-              static_cast<unsigned long long>(lookups.load()),
-              100.0 * static_cast<double>(hits.load()) /
-                  static_cast<double>(lookups.load() ? lookups.load() : 1));
-  std::printf("  logins    %10llu\n",
-              static_cast<unsigned long long>(logins.load()));
-  std::printf("  expiries  %10llu\n",
-              static_cast<unsigned long long>(expiries.load()));
-  std::printf("  live sessions now: %llu\n",
-              static_cast<unsigned long long>(sessions.size()));
+  // Lifecycle invariant: with the tree gone and limbo drained, the set's
+  // pools account for every node — zero leaks.
+  PATHCAS_CHECK(set.liveNodes() == 0);
+  std::printf("  domain-set teardown: 0 leaked nodes\n");
   return 0;
 }

@@ -3,8 +3,9 @@
 
 Every bench driver appends one JSON object per trial when PATHCAS_BENCH_JSON
 is set (schema: docs/BENCHMARKING.md). This tool joins two such files on the
-trial identity — (experiment, algo, threads, key_range, dist, mix, update_pct,
-rq_pct, rq_size) — averages duplicate rows (re-runs), and reports the
+trial identity — (experiment, algo, threads, shards, key_range, dist, mix,
+update_pct, rq_pct, rq_size); rows from files predating the `shards` field
+join as shards=1 — averages duplicate rows (re-runs), and reports the
 per-cell `mops` delta. It exits nonzero when any cell regresses by more than
 --threshold-pct, so CI can gate on it; the repo's CI runs it as an
 *informational* step (continue-on-error) against the committed
@@ -30,6 +31,7 @@ KEY_FIELDS = (
     "experiment",
     "algo",
     "threads",
+    "shards",
     "key_range",
     "dist",
     "mix",
@@ -37,6 +39,10 @@ KEY_FIELDS = (
     "rq_pct",
     "rq_size",
 )
+
+# Fields absent from older bench files join on a default instead of erroring
+# (the committed baseline may predate them).
+DEFAULT_FIELDS = {"shards": 1}
 
 
 def load(path):
@@ -55,7 +61,11 @@ def load(path):
                     print(f"{path}:{lineno}: bad JSON: {e}", file=sys.stderr)
                     sys.exit(2)
                 try:
-                    key = tuple(row[k] for k in KEY_FIELDS)
+                    key = tuple(
+                        row[k] if k not in DEFAULT_FIELDS
+                        else row.get(k, DEFAULT_FIELDS[k])
+                        for k in KEY_FIELDS
+                    )
                     mops = float(row["mops"])
                 except KeyError as e:
                     print(f"{path}:{lineno}: missing field {e}", file=sys.stderr)
@@ -71,8 +81,8 @@ def load(path):
 def fmt_key(key):
     d = dict(zip(KEY_FIELDS, key))
     return (
-        f"{d['experiment']}/{d['algo']} t={d['threads']} {d['dist']} "
-        f"{d['mix']} range={d['key_range']} u={d['update_pct']}%"
+        f"{d['experiment']}/{d['algo']} t={d['threads']} s={d['shards']} "
+        f"{d['dist']} {d['mix']} range={d['key_range']} u={d['update_pct']}%"
     )
 
 

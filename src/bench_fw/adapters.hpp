@@ -17,8 +17,10 @@
 #include <utility>
 #include <vector>
 
+#include "bench_fw/driver.hpp"
 #include "recl/ebr.hpp"
 #include "recl/pool.hpp"
+#include "service/sharded_map.hpp"
 
 #include "mcms/mcms_bst.hpp"
 #include "stm/elastic.hpp"
@@ -181,6 +183,65 @@ struct AbTreeAdapter {
   double avgKeyDepth() const { return 0.0; }  // leaf-oriented; not comparable
   std::uint64_t footprintBytes() const { return pool.footprintBytes(); }
   static std::string name() { return "abtree-pathcas"; }
+};
+
+/// Sharded-service frontends (service/sharded_map.hpp). Two construction
+/// modes share one template:
+///   - NShards > 0: fixed shard count over a small key space — the typed
+///     test suite's mode (shard boundaries land inside the tests' key
+///     ranges). Default-constructible, like every other adapter.
+///   - NShards == 0: shard count and key space come from the TrialConfig
+///     (cfg.shards / cfg.keyRange) — the bench mode; sweepThreads detects
+///     the TrialConfig constructor and the shard count is recorded in the
+///     CSV/JSON `shards` column rather than the algorithm name.
+/// The ShardedMap owns a private DomainSet per shard, so unlike the pooled
+/// adapters above there is nothing process-global to drain in ~adapter.
+template <typename Tree, int NShards>
+struct ShardedAdapterBase {
+  static constexpr Key kTestKeySpace = 256;
+  service::ShardedMap<Tree> map;
+
+  ShardedAdapterBase() : map(NShards > 0 ? NShards : 1, kTestKeySpace) {}
+  explicit ShardedAdapterBase(const bench::TrialConfig& cfg)
+      : map(cfg.shards > 0 ? cfg.shards : 1,
+            cfg.keyRange > 0 ? cfg.keyRange : 1) {}
+
+  bool insert(Key k, Val v) { return map.insert(k, v); }
+  bool erase(Key k) { return map.erase(k); }
+  bool contains(Key k) { return map.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return map.rangeQuery(lo, hi, out);
+  }
+  std::int64_t bulkLoad(const std::vector<Key>& sortedKeys, int nthreads) {
+    return map.bulkLoad(sortedKeys, nthreads);
+  }
+  std::uint64_t size() const { return map.size(); }
+  std::int64_t keySum() const { return map.keySum(); }
+  void checkInvariants() const { map.checkInvariants(); }
+  double avgKeyDepth() const { return 0.0; }  // per-shard depths, not pooled
+  std::uint64_t footprintBytes() const { return map.footprintBytes(); }
+};
+
+template <int NShards = 0>
+struct ShardedBstAdapter
+    : ShardedAdapterBase<ds::IntBstPathCas<Key, Val>, NShards> {
+  using ShardedAdapterBase<ds::IntBstPathCas<Key, Val>,
+                           NShards>::ShardedAdapterBase;
+  static std::string name() {
+    return NShards > 0 ? "sharded-bst-" + std::to_string(NShards)
+                       : "sharded-bst";
+  }
+};
+
+template <int NShards = 0>
+struct ShardedAvlAdapter
+    : ShardedAdapterBase<ds::IntAvlPathCas<Key, Val>, NShards> {
+  using ShardedAdapterBase<ds::IntAvlPathCas<Key, Val>,
+                           NShards>::ShardedAdapterBase;
+  static std::string name() {
+    return NShards > 0 ? "sharded-avl-" + std::to_string(NShards)
+                       : "sharded-avl";
+  }
 };
 
 template <typename TM>

@@ -41,6 +41,11 @@ namespace pathcas::bench {
 struct TrialConfig {
   int threads = 1;
   std::int64_t keyRange = 1 << 16;
+  /// Shard count for partitioned frontends (service/sharded_map.hpp);
+  /// 1 (a single partition) for plain structures. Recorded in CSV/JSON so
+  /// shard-sweep rows are self-describing, and consumed by adapters that are
+  /// constructible from the TrialConfig (see sweepThreads).
+  int shards = 1;
   double insertFrac = 0.05;  // e.g. 10% updates = 5% insert + 5% delete
   double deleteFrac = 0.05;
   /// Fraction of operations that are range queries (the structure must
@@ -165,6 +170,14 @@ concept HasFootprint = requires(const Set s) {
   { s.footprintBytes() } -> std::convertible_to<std::uint64_t>;
 };
 
+/// Structures that can be built in parallel from a sorted key vector
+/// (service/sharded_map.hpp). prefillHalf uses this instead of the serial
+/// insert loop; bulkLoad returns the inserted keysum, same contract.
+template <typename Set>
+concept HasBulkLoad = requires(Set s, std::vector<std::int64_t> keys) {
+  { s.bulkLoad(keys, int{}) } -> std::convertible_to<std::int64_t>;
+};
+
 /// Benchmark scale, from PATHCAS_BENCH_SCALE ("quick" default, "full" for
 /// paper-scale key ranges and durations).
 inline bool fullScale() {
@@ -178,8 +191,17 @@ inline std::int64_t scaledKeys(std::int64_t quick, std::int64_t full) {
   return fullScale() ? full : quick;
 }
 
+/// Worker count for parallel prefill (HasBulkLoad structures): the machine's
+/// concurrency, capped — prefill is bandwidth-bound well before 8 threads.
+inline int prefillThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
 /// Prefill with a random half of the key range (random insertion order so
-/// unbalanced trees get their expected logarithmic depth).
+/// unbalanced trees get their expected logarithmic depth). Structures with a
+/// parallel bulkLoad get the same key subset loaded via sorted bulk build
+/// instead of the serial insert loop.
 template <typename Set>
 std::int64_t prefillHalf(Set& set, std::int64_t keyRange,
                          std::uint64_t seed = 12345) {
@@ -190,12 +212,17 @@ std::int64_t prefillHalf(Set& set, std::int64_t keyRange,
   for (std::size_t i = keys.size(); i > 1; --i) {
     std::swap(keys[i - 1], keys[rng.nextBounded(i)]);
   }
-  std::int64_t keysum = 0;
-  for (std::int64_t i = 0; i < keyRange / 2; ++i) {
-    const std::int64_t k = keys[static_cast<std::size_t>(i)];
-    if (set.insert(k, k)) keysum += k;
+  keys.resize(static_cast<std::size_t>(keyRange / 2));
+  if constexpr (HasBulkLoad<Set>) {
+    std::sort(keys.begin(), keys.end());
+    return set.bulkLoad(keys, prefillThreads());
+  } else {
+    std::int64_t keysum = 0;
+    for (const std::int64_t k : keys) {
+      if (set.insert(k, k)) keysum += k;
+    }
+    return keysum;
   }
-  return keysum;
 }
 
 /// Run one timed trial against a prefilled set. `prefillSum` is the keysum
@@ -356,7 +383,7 @@ inline void jsonAppendTrial(const std::string& experiment,
                       cfg.dist.kind == DistKind::kLatest;
   std::fprintf(
       f,
-      "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,"
+      "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,\"shards\":%d,"
       "\"key_range\":%lld,\"dist\":\"%s\",\"theta\":%g,\"mix\":\"%s\","
       "\"update_pct\":%.1f,\"rq_pct\":%.1f,"
       "\"rq_size\":%lld,\"mops\":%.4f,\"rq_mops\":%.4f,"
@@ -364,7 +391,7 @@ inline void jsonAppendTrial(const std::string& experiment,
       "\"rqs\":%llu,\"rq_keys\":%llu,"
       "\"cycles_per_op\":%llu,\"footprint_bytes\":%llu,"
       "\"elapsed_sec\":%.4f,\"keysum_ok\":%s}\n",
-      experiment.c_str(), algo.c_str(), cfg.threads,
+      experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards,
       static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
       skewed ? cfg.dist.theta : 0.0, cfg.mix.c_str(),
       (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <type_traits>
 
+#include "kcas/domain.hpp"
 #include "kcas/kcas.hpp"
 #include "kcas/word.hpp"
 
@@ -63,9 +64,12 @@ class casword {
   casword(const casword&) = delete;
   casword& operator=(const casword&) = delete;
 
-  /// The PathCAS read(): helps any operation found in the word.
+  /// The PathCAS read(): helps any operation found in the word, through the
+  /// calling thread's current domain (kcas/domain.hpp) — a descriptor
+  /// reference is only meaningful in the domain that produced it, so reads
+  /// of a sharded structure must run under the owning shard's ScopedDomain.
   T load() const {
-    return detail::decode<T>(k::DefaultDomain::instance().readEncoded(
+    return detail::decode<T>(k::currentDomain().readEncoded(
         const_cast<k::AtomicWord*>(&word_)));
   }
   operator T() const { return load(); }  // NOLINT(google-explicit-constructor)

@@ -50,6 +50,7 @@
 #include <cstdint>
 
 #include "htm/htm.hpp"
+#include "kcas/domain.hpp"
 #include "kcas/kcas.hpp"
 #include "pathcas/casword.hpp"
 #include "util/backoff.hpp"
@@ -70,7 +71,11 @@ concept Versioned = requires(Node n) {
   { n.ver } -> std::convertible_to<const casword<Version>&>;
 };
 
-inline k::DefaultDomain& domain() { return k::DefaultDomain::instance(); }
+/// The KCAS domain this thread's PathCAS calls operate on: the innermost
+/// active k::ScopedDomain, falling back to the process-wide default
+/// (kcas/domain.hpp). Sharded structures scope each operation to the owning
+/// shard's domain; everything else keeps the paper's single-domain setup.
+inline k::DefaultDomain& domain() { return k::currentDomain(); }
 
 /// Begin gathering arguments for a PathCAS (wait-free).
 inline void start() { domain().begin(); }

@@ -1,0 +1,127 @@
+// DomainSet: one self-contained instance of the full memory/synchronization
+// stack — a private KcasDomain (descriptor tables + staging), a private
+// EbrDomain (epochs + limbo bags), and lazily-created per-node-type NodePools
+// — bundled with the teardown ordering the three layers require.
+//
+// The process-global singletons (k::DefaultDomain::instance(),
+// recl::EbrDomain::instance(), recl::defaultPool<N>()) match the paper's
+// single-domain experimental setup; a DomainSet is the per-instance
+// alternative the sharded service layer (src/service/sharded_map.hpp) builds
+// on: each shard owns a DomainSet, so shards never contend on each other's
+// descriptor tables, epoch announcements, or pool free lists, and a shard's
+// entire memory footprint dies with it.
+//
+// Ownership / destruction order (why the member order below is load-bearing):
+//   1. ebr_ is declared LAST, so it is destroyed FIRST: ~EbrDomain recycles
+//      every remaining limbo record into its owning pool, which must still
+//      be alive (the pool registry outlives it).
+//   2. The pool registry is destroyed next; ~NodePool releases all free
+//      slots to the system. Structures allocating from the set must already
+//      be gone (they destroy their reachable nodes into the pools).
+//   3. kcas_ goes last; by then no descriptor can reference any freed word.
+//
+// Typical standalone use (examples/session_index.cpp):
+//
+//   recl::DomainSet set;
+//   {
+//     ds::IntAvlPathCas<> tree({}, set.ebr(), &set.pool<Node>());
+//     // every thread operating on the tree:
+//     k::ScopedDomain scope(set.kcas());
+//     tree.insert(...);
+//   }                      // tree destroyed: nodes back in the pool
+//   set.drain();           // limbo recycled (requires quiescence)
+//   assert(set.liveNodes() == 0);   // leak check
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+#include "kcas/domain.hpp"
+#include "recl/ebr.hpp"
+#include "recl/pool.hpp"
+
+namespace pathcas::recl {
+
+class DomainSet {
+ public:
+  /// The KcasDomain is ~12 MB of descriptor tables (sized by kMaxThreads),
+  /// so it lives on the heap; everything else is modest.
+  DomainSet()
+      : kcas_(std::make_unique<k::DefaultDomain>()),
+        ebr_(std::make_unique<EbrDomain>()) {}
+
+  DomainSet(const DomainSet&) = delete;
+  DomainSet& operator=(const DomainSet&) = delete;
+
+  /// Members are destroyed in reverse declaration order: ebr_ first (limbo
+  /// recycled into the still-alive pools), then the pools, then kcas_.
+  ~DomainSet() = default;
+
+  k::DefaultDomain& kcas() { return *kcas_; }
+  EbrDomain& ebr() { return *ebr_; }
+
+  /// The set's pool for node type N, created on first request. Structures
+  /// bound to this set must take their pool from here so the teardown
+  /// ordering above covers them.
+  template <typename N>
+  NodePool<N>& pool() {
+    const std::type_index key(typeid(N));
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& h : pools_) {
+      if (h->key == key) return static_cast<Holder<N>*>(h.get())->pool;
+    }
+    pools_.push_back(std::make_unique<Holder<N>>(key));
+    return static_cast<Holder<N>*>(pools_.back().get())->pool;
+  }
+
+  /// Recycle everything still in limbo. Requires quiescence (no thread
+  /// pinned on this set's EbrDomain); checked by EbrDomain::drainAll.
+  void drain() { ebr_->drainAll(); }
+
+  /// Nodes handed out by this set's pools and not yet returned (live in
+  /// structures or still in limbo). Zero after all structures are destroyed
+  /// and drain() has run — the leak-check invariant.
+  std::uint64_t liveNodes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& h : pools_) n += h->live();
+    return n;
+  }
+
+  /// Bytes of node memory this set's pools currently hold (live + free).
+  std::uint64_t footprintBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t n = 0;
+    for (const auto& h : pools_) n += h->footprint();
+    return n;
+  }
+
+ private:
+  struct HolderBase {
+    explicit HolderBase(std::type_index k) : key(k) {}
+    virtual ~HolderBase() = default;
+    virtual std::uint64_t live() const = 0;
+    virtual std::uint64_t footprint() const = 0;
+    const std::type_index key;
+  };
+  template <typename N>
+  struct Holder final : HolderBase {
+    explicit Holder(std::type_index k) : HolderBase(k) {}
+    std::uint64_t live() const override { return pool.liveCount(); }
+    std::uint64_t footprint() const override { return pool.footprintBytes(); }
+    NodePool<N> pool;
+  };
+
+  std::unique_ptr<k::DefaultDomain> kcas_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<HolderBase>> pools_;
+  // Declared last => destroyed first; its destructor recycles limbo into the
+  // pools above. Do not reorder.
+  std::unique_ptr<EbrDomain> ebr_;
+};
+
+}  // namespace pathcas::recl

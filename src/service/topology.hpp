@@ -1,0 +1,118 @@
+// hwloc-free CPU topology discovery for the sharded map's per-socket
+// placement policy: parse /sys/devices/system/cpu/cpu<N>/topology/
+// physical_package_id to learn which package (socket) each online CPU
+// belongs to. When the sysfs tree is unavailable (non-Linux, containers
+// with a masked /sys) the topology degrades to a single package, which
+// makes every placement decision collapse to round-robin — the documented
+// fallback, never an error.
+//
+// The paper's multi-socket evaluation (2-4 socket machines) motivates this:
+// a shard whose KCAS/EBR domains and node pool live on one socket should be
+// operated by threads on that socket, or every descriptor CAS pays a
+// cross-socket hop. pinShardThread() is the optional enforcement — it is
+// advisory (best-effort sched_setaffinity, ignored on failure) and off by
+// default in the sharded map.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace pathcas::service {
+
+/// Package (socket) map of the machine's online CPUs.
+struct CpuTopology {
+  /// packageOf[cpu] = physical package id (dense-renumbered from 0).
+  std::vector<int> packageOf;
+  int packages = 1;
+
+  int cpus() const { return static_cast<int>(packageOf.size()); }
+};
+
+/// Parse /sys. Returns a single-package topology (with at least one CPU) on
+/// any failure, so callers never need an error path.
+inline CpuTopology detectCpuTopology() {
+  CpuTopology topo;
+  std::vector<int> rawIds;
+  for (int cpu = 0;; ++cpu) {
+    char path[128];
+    std::snprintf(path, sizeof path,
+                  "/sys/devices/system/cpu/cpu%d/topology/physical_package_id",
+                  cpu);
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) break;
+    int pkg = 0;
+    const bool ok = std::fscanf(f, "%d", &pkg) == 1;
+    std::fclose(f);
+    rawIds.push_back(ok ? pkg : 0);
+  }
+  if (rawIds.empty()) {
+    topo.packageOf = {0};
+    topo.packages = 1;
+    return topo;
+  }
+  // Dense-renumber package ids (sysfs ids can be sparse, e.g. {0, 2}).
+  std::vector<int> seen;
+  topo.packageOf.resize(rawIds.size());
+  for (std::size_t i = 0; i < rawIds.size(); ++i) {
+    int dense = -1;
+    for (std::size_t j = 0; j < seen.size(); ++j) {
+      if (seen[j] == rawIds[i]) dense = static_cast<int>(j);
+    }
+    if (dense < 0) {
+      dense = static_cast<int>(seen.size());
+      seen.push_back(rawIds[i]);
+    }
+    topo.packageOf[i] = dense;
+  }
+  topo.packages = static_cast<int>(seen.size());
+  return topo;
+}
+
+/// Process-lifetime cached topology (detection reads sysfs once).
+inline const CpuTopology& cpuTopology() {
+  static const CpuTopology topo = detectCpuTopology();
+  return topo;
+}
+
+/// Package a shard is placed on: shards are dealt round-robin across
+/// packages, so with S >= packages every package hosts ~S/packages shards
+/// and with S < packages each shard gets a package to itself.
+inline int packageForShard(int shard, const CpuTopology& topo = cpuTopology()) {
+  return topo.packages > 0 ? shard % topo.packages : 0;
+}
+
+/// Best-effort: restrict the calling thread to the CPUs of `shard`'s
+/// package. Returns true iff an affinity mask was applied; false (and no
+/// side effect) when the platform has no affinity syscall, the topology has
+/// a single package (nothing to separate), or the syscall fails — callers
+/// treat false as "round-robin placement", never as an error.
+inline bool pinShardThread(int shard,
+                           const CpuTopology& topo = cpuTopology()) {
+#if defined(__linux__)
+  if (topo.packages <= 1) return false;
+  const int pkg = packageForShard(shard, topo);
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  bool any = false;
+  for (int cpu = 0; cpu < topo.cpus(); ++cpu) {
+    if (topo.packageOf[static_cast<std::size_t>(cpu)] == pkg) {
+      CPU_SET(cpu, &mask);
+      any = true;
+    }
+  }
+  if (!any) return false;
+  return sched_setaffinity(0, sizeof(mask), &mask) == 0;
+#else
+  (void)shard;
+  (void)topo;
+  return false;
+#endif
+}
+
+}  // namespace pathcas::service

@@ -31,6 +31,10 @@ template <typename K = std::int64_t, typename V = std::int64_t>
 class IntAvlPathCas {
  public:
   static_assert(std::is_integral_v<K> && std::is_integral_v<V>);
+  /// Exposed for generic frontends (service/sharded_map.hpp).
+  using KeyType = K;
+  using ValueType = V;
+  using OptionsType = IntBstOptions;
   static constexpr K kNegInf = std::numeric_limits<K>::min() / 4;
   static constexpr K kPosInf = std::numeric_limits<K>::max() / 4;
 
@@ -112,6 +116,27 @@ class IntAvlPathCas {
       if (vval()) return out.size() - base;
       out.resize(base);  // torn attempt: discard and re-traverse
     }
+  }
+
+  /// One validated scan attempt with visited-pair capture, for the sharded
+  /// map's cross-shard linearization. Contract identical to
+  /// IntBstPathCas::rangeQueryCapture: `cap(k::AtomicWord*, k::word_t)` is
+  /// called per visited pair BEFORE validation; a false return means the
+  /// caller must discard the capture and retry (no internal retry loop).
+  template <typename Cap>
+  bool rangeQueryCapture(K lo, K hi, std::vector<std::pair<K, V>>& out,
+                         Cap&& cap) {
+    PATHCAS_DCHECK(lo > kNegInf && hi < kPosInf);
+    if (lo > hi) return true;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    start();
+    visit(minRoot_);  // pins the root pointer (minRoot_->right)
+    collectRange(minRoot_->right.load(), lo, hi, out);
+    domain().forEachStagedPath(cap);
+    if (vval()) return true;
+    out.resize(base);
+    return false;
   }
 
   bool insert(K key, V val) {

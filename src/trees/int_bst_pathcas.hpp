@@ -51,6 +51,10 @@ template <typename K = std::int64_t, typename V = std::int64_t>
 class IntBstPathCas {
  public:
   static_assert(std::is_integral_v<K> && std::is_integral_v<V>);
+  /// Exposed for generic frontends (service/sharded_map.hpp).
+  using KeyType = K;
+  using ValueType = V;
+  using OptionsType = IntBstOptions;
   /// Sentinel keys; user keys must lie strictly between them.
   static constexpr K kNegInf = std::numeric_limits<K>::min() / 4;
   static constexpr K kPosInf = std::numeric_limits<K>::max() / 4;
@@ -136,6 +140,33 @@ class IntBstPathCas {
       if (vval()) return out.size() - base;
       out.resize(base);  // torn attempt: discard and re-traverse
     }
+  }
+
+  /// One validated scan ATTEMPT that additionally hands every visited
+  /// ⟨version-word, observed-encoding⟩ pair to `cap(k::AtomicWord*,
+  /// k::word_t)` — the raw material for the sharded map's cross-shard
+  /// linearization protocol (phase-2 revalidation of all shards' scans
+  /// together). The capture necessarily runs BEFORE validation, because
+  /// validateVisited may consume the staging area through the §3.5 strong
+  /// path; a true return retroactively blesses the captured pairs (they
+  /// formed an atomic snapshot), a false return obliges the caller to
+  /// discard them (out's tail is already discarded here). Unlike
+  /// rangeQuery, this does not retry internally: a multi-shard caller must
+  /// redo all shards together, so it owns the retry loop.
+  template <typename Cap>
+  bool rangeQueryCapture(K lo, K hi, std::vector<std::pair<K, V>>& out,
+                         Cap&& cap) {
+    PATHCAS_DCHECK(lo > kNegInf && hi < kPosInf);
+    if (lo > hi) return true;
+    auto guard = ebr_.pin();
+    const std::size_t base = out.size();
+    start();
+    visit(minRoot_);  // pins the root pointer (minRoot_->right)
+    collectRange(minRoot_->right.load(), lo, hi, out);
+    domain().forEachStagedPath(cap);
+    if (vval()) return true;
+    out.resize(base);
+    return false;
   }
 
   /// insertIfAbsent (Algorithm 4). Returns false iff key was already present.

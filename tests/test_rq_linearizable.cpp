@@ -1,31 +1,24 @@
-// Linearizability stress for validated range queries (tests/lin_check.hpp):
-// worker threads hammer a tiny key space with racing insert/erase/contains/
-// rangeQuery in barrier-separated rounds, recording timestamped results; the
-// checker then verifies that EVERY window admits a sequential interleaving —
-// in particular that every range-query result is consistent with some
-// instantaneous abstract set, which is exactly the atomic-snapshot guarantee
-// rangeQuery claims. Runs against all five PathCAS ordered structures.
+// Linearizability stress for validated range queries: the shared windowed
+// harness (tests/lin_stress.hpp, checker in tests/lin_check.hpp) run against
+// all five PathCAS ordered structures. The sharded service frontend gets the
+// same treatment in test_sharded_map.cpp.
 //
 // Also contains direct unit tests of the checker itself (it must accept
 // known-linearizable windows and reject known-broken ones — a checker that
 // accepts everything would make the stress vacuous).
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <barrier>
 #include <cstdint>
 #include <set>
-#include <thread>
 #include <vector>
 
 #include "lin_check.hpp"
+#include "lin_stress.hpp"
 #include "structs/abtree_pathcas.hpp"
 #include "structs/list_pathcas.hpp"
 #include "structs/skiplist_pathcas.hpp"
 #include "trees/int_avl_pathcas.hpp"
 #include "trees/int_bst_pathcas.hpp"
-#include "util/rand.hpp"
-#include "util/thread_registry.hpp"
 
 namespace pathcas::testing {
 namespace {
@@ -130,87 +123,8 @@ TEST(LinCheck, ThreadsCandidateStatesAcrossWindows) {
 }
 
 // ---------------------------------------------------------------------------
-// The stress harness.
+// The stress (harness: tests/lin_stress.hpp).
 // ---------------------------------------------------------------------------
-
-template <typename SetT>
-void runRqLinStress(int threads, int rounds, std::int64_t keySpace,
-                    std::uint64_t seed) {
-  ASSERT_LE(keySpace, 64);  // LinState is a 64-bit membership mask
-  SetT set;
-  std::atomic<std::uint64_t> clock{0};
-  std::vector<RecordedOp> history(
-      static_cast<std::size_t>(rounds * threads));
-  std::barrier barrier(threads);
-
-  std::vector<std::thread> workers;
-  for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      ThreadGuard tg;
-      Xoshiro256 rng(seed * 1000003 + static_cast<std::uint64_t>(t));
-      std::vector<std::pair<std::int64_t, std::int64_t>> buf;
-      for (int r = 0; r < rounds; ++r) {
-        barrier.arrive_and_wait();  // all of round r-1 completed
-        RecordedOp rec;
-        const std::int64_t k = static_cast<std::int64_t>(
-            rng.nextBounded(static_cast<std::uint64_t>(keySpace)));
-        const std::uint64_t dice = rng.nextBounded(100);
-        if (dice < 35) {
-          rec.kind = OpKind::kInsert;
-          rec.a = k;
-          rec.inv = clock.fetch_add(1);
-          rec.boolResult = set.insert(k, k);
-        } else if (dice < 70) {
-          rec.kind = OpKind::kErase;
-          rec.a = k;
-          rec.inv = clock.fetch_add(1);
-          rec.boolResult = set.erase(k);
-        } else if (dice < 80) {
-          rec.kind = OpKind::kContains;
-          rec.a = k;
-          rec.inv = clock.fetch_add(1);
-          rec.boolResult = set.contains(k);
-        } else {
-          rec.kind = OpKind::kRangeQuery;
-          rec.a = k;
-          rec.b = k + static_cast<std::int64_t>(rng.nextBounded(
-                          static_cast<std::uint64_t>(keySpace - k)));
-          buf.clear();
-          rec.inv = clock.fetch_add(1);
-          set.rangeQuery(rec.a, rec.b, buf);
-          for (const auto& [bk, bv] : buf) {
-            EXPECT_EQ(bk, bv);  // torn-value detector: we only insert (k, k)
-            rec.keysResult.push_back(bk);
-          }
-        }
-        rec.res = clock.fetch_add(1);
-        history[static_cast<std::size_t>(r * threads + t)] = std::move(rec);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
-
-  // Replay window by window, threading the set of possible abstract states.
-  std::set<LinState> states = {0};
-  for (int r = 0; r < rounds; ++r) {
-    const std::vector<RecordedOp> window(
-        history.begin() + static_cast<std::ptrdiff_t>(r * threads),
-        history.begin() + static_cast<std::ptrdiff_t>((r + 1) * threads));
-    states = linearizeWindow(window, states);
-    ASSERT_FALSE(states.empty())
-        << "history not linearizable at window " << r << ": "
-        << describeWindow(window);
-  }
-
-  // The structure's actual final contents must be one of the candidates.
-  std::vector<std::pair<std::int64_t, std::int64_t>> finalKeys;
-  set.rangeQuery(0, keySpace - 1, finalKeys);
-  LinState finalMask = 0;
-  for (const auto& [fk, fv] : finalKeys) finalMask |= LinState{1} << fk;
-  EXPECT_TRUE(states.count(finalMask))
-      << "final contents (mask " << finalMask
-      << ") not among the linearizable outcomes";
-}
 
 template <typename SetT>
 class RqLinearizable : public ::testing::Test {};
@@ -235,13 +149,15 @@ class RqSetNames {
 TYPED_TEST_SUITE(RqLinearizable, RqSets, RqSetNames);
 
 TYPED_TEST(RqLinearizable, WindowedHistoryUnderChurn) {
-  runRqLinStress<TypeParam>(/*threads=*/4, /*rounds=*/2500, /*keySpace=*/8,
-                            /*seed=*/0x5eed0001);
+  TypeParam set;
+  runRqLinStress(set, /*threads=*/4, /*rounds=*/2500, /*keySpace=*/8,
+                 /*seed=*/0x5eed0001);
 }
 
 TYPED_TEST(RqLinearizable, HighContentionTinyKeySpace) {
-  runRqLinStress<TypeParam>(/*threads=*/3, /*rounds=*/2500, /*keySpace=*/3,
-                            /*seed=*/0x5eed0002);
+  TypeParam set;
+  runRqLinStress(set, /*threads=*/3, /*rounds=*/2500, /*keySpace=*/3,
+                 /*seed=*/0x5eed0002);
 }
 
 }  // namespace

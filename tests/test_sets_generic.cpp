@@ -1,7 +1,10 @@
 // Generic (typed) test suite run against EVERY concurrent-set implementation
 // in the repository: the PathCAS trees (software and fast-path), all four TM
 // backends' internal BST/AVL, the elastic external BST, both MCMS variants,
-// and the hand-crafted Ellen / ticket-lock external BSTs.
+// the hand-crafted Ellen / ticket-lock external BSTs, and the sharded
+// service frontend (service/sharded_map.hpp) at shard counts {1, 2, 8} —
+// the fixed-shard adapters partition a 256-key space, so the suite's keys
+// land astride shard boundaries.
 //
 // Covers: empty-set behaviour, insert/erase/contains semantics against a
 // std::set oracle, duplicate handling, interleaved grow/shrink cycles, and a
@@ -31,7 +34,9 @@ using AllSets = ::testing::Types<
     TmBstAdapter<stm::Elastic>, TmAvlAdapter<stm::NOrec>,
     TmAvlAdapter<stm::TL2>, TmAvlAdapter<stm::TLE>,
     TmAvlAdapter<stm::GlobalLockTm>, TmExtBstAdapter<stm::Elastic>,
-    TmExtBstAdapter<stm::NOrec>, McmsBstAdapter<false>, McmsBstAdapter<true>>;
+    TmExtBstAdapter<stm::NOrec>, McmsBstAdapter<false>, McmsBstAdapter<true>,
+    ShardedBstAdapter<1>, ShardedBstAdapter<2>, ShardedBstAdapter<8>,
+    ShardedAvlAdapter<2>>;
 
 class SetNames {
  public:
