@@ -8,6 +8,10 @@
 //   vexec_k1p1   one entry + one visit   (guarded single-word install)
 //   exec_k4      four entries            (tree update, validation reduced)
 //   vexec_k2p2   two entries + two visits (the BST insert shape)
+//   exec_k8      eight entries, added in descending-address order (the
+//                batched-commit shape; exercises the staging-merge toggle,
+//                which replaces per-entry shifting insertion with
+//                append + one merge at execute)
 //
 // Single-threaded by design: the attribution metric is uncontended
 // cycles/op (docs/BENCHMARKING.md, "ablation_hotpath"). Contended behavior
@@ -50,9 +54,9 @@ CellResult timeCell(std::uint64_t n, F&& op) {
           static_cast<double>(c1 - c0) / static_cast<double>(n)};
 }
 
-constexpr int kOps = 4;
+constexpr int kOps = 5;
 const char* const kOpNames[kOps] = {"exec_k1", "vexec_k1p1", "exec_k4",
-                                    "vexec_k2p2"};
+                                    "vexec_k2p2", "exec_k8"};
 
 /// Run the four operation shapes against a fresh domain built with Policy.
 template <class Policy>
@@ -113,6 +117,21 @@ void runConfig(const char* config, CellResult (&out)[kOps]) {
     vv += 2;
   });
 
+  // exec_k8: the batched-commit shape. Descending address order is the
+  // staging worst case — every shifting insert moves the whole prefix —
+  // so this cell isolates what the merge-based sort (Policy::kStagingMerge)
+  // buys wide commits.
+  AtomicWord wide[8];
+  for (auto& w : wide) w.store(encodeVal(0));
+  v = 0;
+  out[4] = timeCell(n, [&] {
+    dom->begin();
+    for (int i = 7; i >= 0; --i)
+      dom->addEntry(&wide[i], encodeVal(v), encodeVal(v + 1));
+    if (dom->execute(false) != ExecResult::kSucceeded) std::abort();
+    ++v;
+  });
+
   std::printf("%-22s", config);
   for (const auto& c : out) std::printf("  %8.1f", c.nsPerOp);
   std::printf("\n");
@@ -134,12 +153,14 @@ int main() {
   for (const char* op : kOpNames) std::printf("  %8s", op);
   std::printf("\n");
 
-  CellResult base[kOps], fast[kOps], fence[kOps], layout[kOps], tuned[kOps];
-  runConfig<KcasPolicy<false, false, 0>>("baseline(legacy)", base);
-  runConfig<KcasPolicy<true, false, 0>>("+fastpaths", fast);
-  runConfig<KcasPolicy<false, true, 0>>("+fences", fence);
-  runConfig<KcasPolicy<false, false, 8>>("+hotlayout", layout);
-  runConfig<KcasPolicy<true, true, 8>>("tuned(all)", tuned);
+  CellResult base[kOps], fast[kOps], fence[kOps], layout[kOps], merge[kOps],
+      tuned[kOps];
+  runConfig<KcasPolicy<false, false, 0, false>>("baseline(legacy)", base);
+  runConfig<KcasPolicy<true, false, 0, false>>("+fastpaths", fast);
+  runConfig<KcasPolicy<false, true, 0, false>>("+fences", fence);
+  runConfig<KcasPolicy<false, false, 8, false>>("+hotlayout", layout);
+  runConfig<KcasPolicy<false, false, 0, true>>("+stagemerge", merge);
+  runConfig<KcasPolicy<true, true, 8, true>>("tuned(all)", tuned);
 
   std::printf("\nspeedup vs baseline (x):\n%-22s", "config");
   for (const char* op : kOpNames) std::printf("  %8s", op);
@@ -150,6 +171,7 @@ int main() {
   } rows[] = {{"+fastpaths", fast},
               {"+fences", fence},
               {"+hotlayout", layout},
+              {"+stagemerge", merge},
               {"tuned(all)", tuned}};
   for (const auto& row : rows) {
     std::printf("%-22s", row.name);

@@ -1,0 +1,214 @@
+// Batched & combined commits: how much does amortizing descriptor
+// publication across many logical ops buy, and which mechanism earns it?
+// Three cells, one per toggle, so the JSON artifact attributes the win:
+//
+//   wide-descriptor  PathCAS BST/AVL with driver-side update batching
+//                    (TrialConfig.batch ∈ PATHCAS_BENCH_BATCH, default
+//                    1,8,64,256,1024). batch=1 is the per-op k=1 fast-path
+//                    baseline; batch≥2 nets the window per key, then routes
+//                    the sorted run through updateBatch (BST: one mixed
+//                    traversal, one wide KCAS per chunk) or
+//                    eraseBatch+insertBatch (AVL). Rows: combine_window=0.
+//   combining        sharded frontends with per-shard flat combining
+//                    (Config::combineWindow 1 vs 32) under per-op
+//                    submissions (batch=1): the combiner merges concurrent
+//                    same-shard ops into one wide commit. Rows keyed by
+//                    combine_window × shards.
+//   staging-merge    KCAS-level micro: the k=8 descending-address commit
+//                    shape on KcasDomain with Policy::kStagingMerge on vs
+//                    off (append + one merge vs per-entry shifting insert).
+//                    Synthesized rows (algo kcas-stage-*) at threads=1.
+//
+// Default workload: zipfian:0.99 keys (the acceptance regime — hot runs
+// make batched traversal sharing matter), u100 mix (every op is an update;
+// reads don't exercise the commit path). PATHCAS_BENCH_DIST /
+// PATHCAS_BENCH_MIX override as usual; PATHCAS_BENCH_SHARDS scopes the
+// combining cell. The trailing summary prints the attribution ratios the
+// acceptance bar reads (best batch≥8 speedup over batch=1 per tree).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_helpers.hpp"
+#include "kcas/kcas.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+/// batch_commit's CSV schema: identification (incl. batch width and combine
+/// window — the two axes under attribution) + throughput.
+void printBatchCsv(const std::string& experiment, const std::string& algo,
+                   const TrialConfig& cfg, const TrialResult& r) {
+  std::printf("csv,%s,%s,%d,%d,%d,%d,%lld,%s,%s,%.3f,%llu,%llu\n",
+              experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards,
+              cfg.batch, cfg.combineWindow,
+              static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
+              cfg.mix.c_str(), r.mops,
+              static_cast<unsigned long long>(r.totalOps),
+              static_cast<unsigned long long>(r.cyclesPerOp));
+}
+
+/// Peak Mops across the thread sweep (empty sweep -> 0).
+double peak(const std::vector<double>& mops) {
+  return mops.empty() ? 0.0 : *std::max_element(mops.begin(), mops.end());
+}
+
+/// Cell 1: wide-descriptor attribution. Per-tree Mops keyed by batch width;
+/// batch=1 is the per-op baseline the speedups are quoted against.
+template <typename Adapter>
+void sweepBatch(const std::vector<int>& threads,
+                const std::vector<int>& batches, const TrialConfig& base,
+                std::map<int, double>* peaks) {
+  for (int b : batches) {
+    TrialConfig cfg = base;
+    cfg.batch = b;
+    std::printf("%-22s  (batch %d)\n", (Adapter::name() + ":").c_str(), b);
+    const auto mops =
+        sweepThreads<Adapter>("batch_commit", threads, cfg, printBatchCsv);
+    (*peaks)[b] = peak(mops);
+  }
+}
+
+/// Cell 2: combining attribution. Window 1 = direct per-op commits (the
+/// combiner path disabled); window 32 = flat combining. Mops keyed by
+/// (shards, window).
+template <typename Adapter>
+void sweepCombine(const std::vector<int>& threads, const TrialConfig& base,
+                  std::map<std::pair<int, int>, double>* peaks) {
+  for (int nshards : defaultShards()) {
+    for (int window : {1, 32}) {
+      TrialConfig cfg = base;
+      cfg.shards = nshards;
+      cfg.combineWindow = window;
+      std::printf("%-22s  (shards %d, window %d)\n",
+                  (Adapter::name() + ":").c_str(), nshards, window);
+      const auto mops =
+          sweepThreads<Adapter>("batch_commit", threads, cfg, printBatchCsv);
+      (*peaks)[{nshards, window}] = peak(mops);
+    }
+  }
+}
+
+/// Cell 3: staging-merge attribution, below the structures. The k=8
+/// descending-address commit (every shifting insert moves the whole staged
+/// prefix) on the tuned policy with the merge toggle flipped. Emits the same
+/// CSV/JSON rows as the structure cells so the artifact is self-contained.
+template <bool Merge>
+double stagingMicro(const char* algo) {
+  using Dom = k::KcasDomain<64, 64, k::KcasPolicy<true, true, 8, Merge>>;
+  auto* dom = new Dom();  // too large for the stack
+  k::AtomicWord wide[8];
+  for (auto& w : wide) w.store(k::encodeVal(0));
+  const std::uint64_t n = 400000;
+  StopWatch sw;
+  const std::uint64_t c0 = rdtsc();
+  std::uint64_t v = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    dom->begin();
+    for (int j = 7; j >= 0; --j)
+      dom->addEntry(&wide[j], k::encodeVal(v), k::encodeVal(v + 1));
+    if (dom->execute(false) != k::ExecResult::kSucceeded) std::abort();
+    ++v;
+  }
+  const std::uint64_t c1 = rdtsc();
+  const double sec = sw.elapsedSeconds();
+  delete dom;
+
+  TrialConfig cfg;
+  cfg.threads = 1;
+  cfg.keyRange = 8;
+  cfg.mix = "kcas-k8";
+  cfg.batch = 8;
+  TrialResult r{};
+  r.totalOps = n;
+  r.minThreadOps = n;
+  r.maxThreadOps = n;
+  r.elapsedSec = sec;
+  r.mops = sec > 0.0 ? static_cast<double>(n) / sec / 1e6 : 0.0;
+  r.cyclesPerOp = n > 0 ? (c1 - c0) / n : 0;
+  r.keysumOk = true;
+  printBatchCsv("batch_commit", algo, cfg, r);
+  jsonAppendTrial("batch_commit", algo, cfg, r);
+  return r.mops;
+}
+
+}  // namespace
+
+int main() {
+  const auto threads = defaultThreads();
+  const auto batches = defaultBatches();
+
+  TrialConfig base = withUpdates({}, 100.0);  // 50% insert + 50% delete
+  // Group commit targets the write-contended hot-range regime: a small key
+  // range keeps the zipfian hot set dense in the tree, so sorted runs share
+  // long path prefixes and window netting cancels a large fraction of the
+  // ops. Large ranges spread the run across disjoint paths and the batch
+  // degenerates to per-op traversals — that regime is skew_sweep's job.
+  base.keyRange = 1 << 10;
+  base.durationMs = scaledDurationMs(80, 2000);
+  base.dist.kind = DistKind::kZipfian;
+  base.dist.theta = 0.99;
+
+  printHeader("Batch commit: " + describeWorkload(base) + ", keyrange " +
+                  std::to_string(base.keyRange),
+              threads);
+
+  std::printf("-- wide-descriptor: driver batching, plain trees --\n");
+  std::map<int, double> bstPeaks, avlPeaks;
+  sweepBatch<PathCasBstAdapter<false>>(threads, batches, base, &bstPeaks);
+  sweepBatch<PathCasAvlAdapter<false>>(threads, batches, base, &avlPeaks);
+
+  std::printf("-- combining: sharded frontends, per-op submissions --\n");
+  std::map<std::pair<int, int>, double> shBstPeaks, shAvlPeaks;
+  sweepCombine<ShardedBstAdapter<>>(threads, base, &shBstPeaks);
+  sweepCombine<ShardedAvlAdapter<>>(threads, base, &shAvlPeaks);
+
+  std::printf("-- staging-merge: k=8 descending-address KCAS micro --\n");
+  const double mergeMops = stagingMicro<true>("kcas-stage-merge");
+  const double shiftMops = stagingMicro<false>("kcas-stage-shift");
+
+  // Attribution summary: the ratios the acceptance bar and CI read.
+  std::printf("\n== attribution (peak Mops over the thread sweep) ==\n");
+  struct TreeRow {
+    const char* name;
+    const std::map<int, double>* peaks;
+  } treeRows[] = {{"int-bst-pathcas", &bstPeaks},
+                  {"int-avl-pathcas", &avlPeaks}};
+  for (const auto& row : treeRows) {
+    const auto b1 = row.peaks->find(1);
+    if (b1 == row.peaks->end() || b1->second <= 0.0) continue;
+    for (const auto& [b, mops] : *row.peaks) {
+      if (b == 1) continue;
+      std::printf("wide-descriptor  %-18s batch %3d vs 1: %5.2fx "
+                  "(%.3f vs %.3f Mops)\n",
+                  row.name, b, mops / b1->second, mops, b1->second);
+    }
+  }
+  struct ShRow {
+    const char* name;
+    const std::map<std::pair<int, int>, double>* peaks;
+  } shRows[] = {{"sharded-bst", &shBstPeaks}, {"sharded-avl", &shAvlPeaks}};
+  for (const auto& row : shRows) {
+    for (const auto& [key, mops] : *row.peaks) {
+      const auto [nshards, window] = key;
+      if (window == 1) continue;
+      const auto direct = row.peaks->find({nshards, 1});
+      if (direct == row.peaks->end() || direct->second <= 0.0) continue;
+      std::printf("combining        %-18s shards %2d window %2d vs 1: %5.2fx "
+                  "(%.3f vs %.3f Mops)\n",
+                  row.name, nshards, window, mops / direct->second, mops,
+                  direct->second);
+    }
+  }
+  if (shiftMops > 0.0) {
+    std::printf("staging-merge    kcas-k8            merge vs shift: %5.2fx "
+                "(%.3f vs %.3f Mops)\n",
+                mergeMops / shiftMops, mergeMops, shiftMops);
+  }
+  return 0;
+}

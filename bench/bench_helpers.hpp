@@ -15,6 +15,9 @@
 //                          u0/u1/u10/u50/u100)
 //   PATHCAS_BENCH_SHARDS   comma-separated shard counts for the sharded-
 //                          frontend sweeps (default "1,2,4,8")
+//   PATHCAS_BENCH_BATCH    comma-separated update-batch widths for benches
+//                          with a batch axis (default "1,8,64,256,1024";
+//                          1 = per-op k=1 fast-path baseline)
 //   PATHCAS_BENCH_JSON     JSON Lines sink, one object per trial
 #pragma once
 
@@ -89,6 +92,26 @@ inline std::vector<int> defaultShards() {
   return {1, 2, 4, 8};
 }
 
+/// Update-batch widths for benches with a batch axis (bench/batch_commit):
+/// PATHCAS_BENCH_BATCH ("1,16") when set and well-formed, else
+/// {1, 8, 64, 256, 1024}. Width 1 is the per-op k=1 fast-path baseline
+/// every speedup is quoted against. Widths beyond the trees' chunk size
+/// (IntBstOptions::batchOpsPerCommit) still pay off: the driver nets
+/// duplicate keys across the whole window before submitting, and under a
+/// skewed distribution the netted fraction grows with the window. Capped
+/// at 4096 — past that the flush's sort dominates any further netting.
+inline std::vector<int> defaultBatches() {
+  if (const char* s = std::getenv("PATHCAS_BENCH_BATCH")) {
+    std::vector<int> out;
+    if (parseIntList(s, 4096, &out)) return out;
+    std::fprintf(stderr,
+                 "ignoring malformed PATHCAS_BENCH_BATCH=\"%s\" "
+                 "(want e.g. \"1,8,64\", widths in [1, 4096])\n",
+                 s);
+  }
+  return {1, 8, 64, 256, 1024};
+}
+
 /// Per-cell CSV emitter, swappable per experiment (the sweep loop itself —
 /// fresh structure per cell, JSON emission, EBR drain between cells — is
 /// shared and must not be duplicated).
@@ -97,18 +120,18 @@ using CsvPrinter = std::function<void(
     const TrialConfig& cfg, const TrialResult& r)>;
 
 /// The default `csv,<experiment>,...` schema shared by the figure benches;
-/// trailing dist/mix columns keep CSV rows self-describing under the
-/// PATHCAS_BENCH_DIST / PATHCAS_BENCH_MIX overrides.
+/// trailing dist/mix/batch columns keep CSV rows self-describing under the
+/// PATHCAS_BENCH_DIST / PATHCAS_BENCH_MIX / PATHCAS_BENCH_BATCH overrides.
 inline void printStandardCsv(const std::string& experiment,
                              const std::string& algo, const TrialConfig& cfg,
                              const TrialResult& r) {
-  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu,%s,%s\n",
+  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu,%s,%s,%d\n",
               experiment.c_str(), algo.c_str(), cfg.threads,
               static_cast<long long>(cfg.keyRange),
               (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
               static_cast<unsigned long long>(r.totalOps),
               static_cast<unsigned long long>(r.cyclesPerOp),
-              cfg.dist.label().c_str(), cfg.mix.c_str());
+              cfg.dist.label().c_str(), cfg.mix.c_str(), cfg.batch);
 }
 
 /// Which environment workload knobs a sweep honours: benches whose mix is

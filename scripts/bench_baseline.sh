@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerate the committed bench baseline (BENCH_baseline.json) from the
+# exact pinned smoke configs CI gates against (.github/workflows/ci.yml:
+# "Gate against committed bench baseline"). Run from the repo root on the
+# reference machine after an intentional perf change, then commit the
+# refreshed file:
+#
+#   scripts/bench_baseline.sh [build-dir]   # default build dir: ./build
+#
+# The gate (scripts/bench_compare.py --threshold-pct 15) joins rows on the
+# full workload identity — experiment, algo, threads, shards, batch,
+# combine_window, key_range, dist, mix, update_pct, rq_pct, rq_size — so
+# the baseline must come from these configs verbatim; a drifted config
+# shows up as unmatched rows, not a bogus pass.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out="BENCH_baseline.json"
+
+for bench in skew_sweep batch_commit; do
+  if [[ ! -x "$build_dir/bench/$bench" ]]; then
+    echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+done
+
+rm -f "$out"
+
+PATHCAS_BENCH_THREADS=2 \
+PATHCAS_BENCH_DIST=zipfian:0.99 \
+PATHCAS_BENCH_MIX=ycsb-b \
+PATHCAS_BENCH_SHARDS=1,4 \
+PATHCAS_BENCH_JSON="$out" \
+  "$build_dir/bench/skew_sweep" >/dev/null
+
+PATHCAS_BENCH_THREADS=2 \
+PATHCAS_BENCH_BATCH=1,8 \
+PATHCAS_BENCH_SHARDS=1,4 \
+PATHCAS_BENCH_JSON="$out" \
+  "$build_dir/bench/batch_commit" >/dev/null
+
+echo "wrote $(wc -l <"$out") baseline rows to $out"

@@ -3,17 +3,18 @@
 
 Every bench driver appends one JSON object per trial when PATHCAS_BENCH_JSON
 is set (schema: docs/BENCHMARKING.md). This tool joins two such files on the
-trial identity — (experiment, algo, threads, shards, key_range, dist, mix,
-update_pct, rq_pct, rq_size); rows from files predating the `shards` field
-join as shards=1 — averages duplicate rows (re-runs), and reports the
-per-cell `mops` delta. It exits nonzero when any cell regresses by more than
---threshold-pct, so CI can gate on it; the repo's CI runs it as an
-*informational* step (continue-on-error) against the committed
-BENCH_baseline.json, because absolute throughput is machine-dependent — the
-committed baseline pins the numbers of the machine that produced it, and the
-step's value is the printed per-cell trend, not a hard pass/fail across
-heterogeneous runners. Re-baseline on one machine (see docs/BENCHMARKING.md,
-"Comparing runs") for a gate that means something.
+trial identity — (experiment, algo, threads, shards, batch, combine_window,
+key_range, dist, mix, update_pct, rq_pct, rq_size); rows from files
+predating a field join on its default (shards=1, batch=1,
+combine_window=0) — averages duplicate rows (re-runs), and reports the
+per-cell `mops` delta. It exits nonzero when any cell regresses by more
+than --threshold-pct. The repo's CI runs it as a soft gate
+(--threshold-pct 15) against the committed BENCH_baseline.json, regenerated
+from the same pinned smoke configs by scripts/bench_baseline.sh: absolute
+throughput is machine-dependent, but the 15% margin on the pinned 2-thread
+smokes absorbs runner noise while still tripping on real commit-path
+regressions (docs/BENCHMARKING.md, "Comparing runs"). Re-baseline after any
+intentional perf change.
 
 Usage:
   scripts/bench_compare.py BASELINE.json NEW.json [--threshold-pct 25]
@@ -32,6 +33,8 @@ KEY_FIELDS = (
     "algo",
     "threads",
     "shards",
+    "batch",
+    "combine_window",
     "key_range",
     "dist",
     "mix",
@@ -42,7 +45,7 @@ KEY_FIELDS = (
 
 # Fields absent from older bench files join on a default instead of erroring
 # (the committed baseline may predate them).
-DEFAULT_FIELDS = {"shards": 1}
+DEFAULT_FIELDS = {"shards": 1, "batch": 1, "combine_window": 0}
 
 
 def load(path):
@@ -82,6 +85,7 @@ def fmt_key(key):
     d = dict(zip(KEY_FIELDS, key))
     return (
         f"{d['experiment']}/{d['algo']} t={d['threads']} s={d['shards']} "
+        f"b={d['batch']} cw={d['combine_window']} "
         f"{d['dist']} {d['mix']} range={d['key_range']} u={d['update_pct']}%"
     )
 

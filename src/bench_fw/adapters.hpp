@@ -55,6 +55,17 @@ struct PathCasBstAdapter {
   ~PathCasBstAdapter() { recl::EbrDomain::instance().drainAll(); }
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
+  std::size_t insertBatch(const Key* ks, const Val* vs, std::size_t n,
+                          bool* out) {
+    return tree.insertBatch(ks, vs, n, out);
+  }
+  std::size_t eraseBatch(const Key* ks, std::size_t n, bool* out) {
+    return tree.eraseBatch(ks, n, out);
+  }
+  std::size_t updateBatch(const Key* ks, const Val* vs, const bool* isInsert,
+                          std::size_t n, bool* out) {
+    return tree.updateBatch(ks, vs, isInsert, n, out);
+  }
   bool contains(Key k) { return tree.contains(k); }
   std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
     return tree.rangeQuery(lo, hi, out);
@@ -77,6 +88,13 @@ struct PathCasAvlAdapter {
   ~PathCasAvlAdapter() { recl::EbrDomain::instance().drainAll(); }
   bool insert(Key k, Val v) { return tree.insert(k, v); }
   bool erase(Key k) { return tree.erase(k); }
+  std::size_t insertBatch(const Key* ks, const Val* vs, std::size_t n,
+                          bool* out) {
+    return tree.insertBatch(ks, vs, n, out);
+  }
+  std::size_t eraseBatch(const Key* ks, std::size_t n, bool* out) {
+    return tree.eraseBatch(ks, n, out);
+  }
   bool contains(Key k) { return tree.contains(k); }
   std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
     return tree.rangeQuery(lo, hi, out);
@@ -203,11 +221,18 @@ struct ShardedAdapterBase {
 
   ShardedAdapterBase() : map(NShards > 0 ? NShards : 1, kTestKeySpace) {}
   explicit ShardedAdapterBase(const bench::TrialConfig& cfg)
-      : map(cfg.shards > 0 ? cfg.shards : 1,
-            cfg.keyRange > 0 ? cfg.keyRange : 1) {}
+      : map(cfg.shards > 0 ? cfg.shards : 1, cfg.keyRange > 0 ? cfg.keyRange : 1,
+            shardConfig(cfg)) {}
 
   bool insert(Key k, Val v) { return map.insert(k, v); }
   bool erase(Key k) { return map.erase(k); }
+  std::size_t insertBatch(const Key* ks, const Val* vs, std::size_t n,
+                          bool* out) {
+    return map.insertBatch(ks, vs, n, out);
+  }
+  std::size_t eraseBatch(const Key* ks, std::size_t n, bool* out) {
+    return map.eraseBatch(ks, n, out);
+  }
   bool contains(Key k) { return map.contains(k); }
   std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
     return map.rangeQuery(lo, hi, out);
@@ -220,6 +245,14 @@ struct ShardedAdapterBase {
   void checkInvariants() const { map.checkInvariants(); }
   double avgKeyDepth() const { return 0.0; }  // per-shard depths, not pooled
   std::uint64_t footprintBytes() const { return map.footprintBytes(); }
+
+ private:
+  static typename service::ShardedMap<Tree>::Config shardConfig(
+      const bench::TrialConfig& cfg) {
+    typename service::ShardedMap<Tree>::Config c;
+    c.combineWindow = cfg.combineWindow;
+    return c;
+  }
 };
 
 template <int NShards = 0>

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -64,6 +65,16 @@ struct TrialConfig {
   /// "custom" when set by hand). Recorded in CSV/JSON so rows are
   /// self-describing; applyMix / withUpdates keep it in sync.
   std::string mix = "u10";
+  /// Per-worker update batch width, for structures with insertBatch/
+  /// eraseBatch (HasBatchOps): workers buffer this many updates and submit
+  /// each buffer as one sorted, deduplicated group commit. 1 (default) is
+  /// per-op commits — the k=1 fast-path baseline. Recorded in CSV/JSON;
+  /// PATHCAS_BENCH_BATCH selects the sweep values (bench_helpers.hpp).
+  int batch = 1;
+  /// Flat-combining window forwarded to sharded frontends
+  /// (service/sharded_map.hpp, Config::combineWindow) by adapters that are
+  /// TrialConfig-constructible; <= 1 means combining off. Recorded in JSON.
+  int combineWindow = 0;
 };
 
 struct TrialResult {
@@ -178,6 +189,30 @@ concept HasBulkLoad = requires(Set s, std::vector<std::int64_t> keys) {
   { s.bulkLoad(keys, int{}) } -> std::convertible_to<std::int64_t>;
 };
 
+/// Structures exposing sorted-run group commits (the trees' and the sharded
+/// map's insertBatch/eraseBatch). Only these honour TrialConfig::batch > 1.
+template <typename Set>
+concept HasBatchOps =
+    requires(Set s, const std::int64_t* ks, const std::int64_t* vs,
+             std::size_t n, bool* out) {
+      { s.insertBatch(ks, vs, n, out) } -> std::convertible_to<std::size_t>;
+      { s.eraseBatch(ks, n, out) } -> std::convertible_to<std::size_t>;
+    };
+
+/// Structures additionally exposing the mixed-run group commit (int_bst's
+/// updateBatch): one sorted run carrying per-op insert/erase flags, staged
+/// in a single traversal with one wide KCAS per chunk. When present, the
+/// window flush issues one merged run instead of an erase run followed by
+/// an insert run — halving the traversals the flush pays.
+template <typename Set>
+concept HasUpdateBatch =
+    requires(Set s, const std::int64_t* ks, const std::int64_t* vs,
+             const bool* ins, std::size_t n, bool* out) {
+      {
+        s.updateBatch(ks, vs, ins, n, out)
+      } -> std::convertible_to<std::size_t>;
+    };
+
 /// Benchmark scale, from PATHCAS_BENCH_SCALE ("quick" default, "full" for
 /// paper-scale key ranges and durations).
 inline bool fullScale() {
@@ -273,6 +308,108 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       PerThread& my = stats[static_cast<std::size_t>(t)];
       std::vector<std::pair<std::int64_t, std::int64_t>> rqBuf;
       rqBuf.reserve(static_cast<std::size_t>(cfg.rqSize));
+
+      // Group-commit mode (cfg.batch > 1 on a HasBatchOps structure):
+      // updates are buffered into a window of cfg.batch ops and settled at
+      // the flush. All ops in one window are concurrent (the submitter has
+      // not observed any of their results yet), so the flush nets them
+      // per key — the LAST op on a key decides its final presence, and the
+      // earlier ops on that key linearize immediately before it, mutually
+      // cancelling — then submits the net ops: one merged sorted run when
+      // the structure has updateBatch, else one sorted erase run and one
+      // sorted insert run (the same elimination argument as the ShardedMap
+      // combiner).
+      // Stats and keysum are settled from the net-op outcomes: a key's
+      // keysum contribution changes exactly when its net op succeeds.
+      // Reads stay immediate.
+      struct WinOp {
+        std::int64_t key, val;
+        std::uint32_t seq;  // submission order: tiebreak so last-op-wins
+        bool isInsert;
+      };
+      const bool batching = cfg.batch > 1;
+      const std::size_t batchW =
+          static_cast<std::size_t>(std::max(cfg.batch, 1));
+      std::vector<WinOp> winBuf;
+      std::vector<std::int64_t> erKeys, insKeys, insVals;
+      std::unique_ptr<bool[]> outBuf, insFlag;
+      if (batching) {
+        winBuf.reserve(batchW);
+        erKeys.reserve(batchW);
+        insKeys.reserve(batchW);
+        insVals.reserve(batchW);
+        outBuf = std::make_unique<bool[]>(batchW);
+        insFlag = std::make_unique<bool[]>(batchW);
+      }
+      auto flushBatches = [&] {
+        if constexpr (HasBatchOps<Set>) {
+          if (winBuf.empty()) return;
+          // std::sort with a (key, seq) compare: stable_sort's per-call
+          // buffer allocation is measurable at small window sizes.
+          std::sort(winBuf.begin(), winBuf.end(),
+                    [](const WinOp& a, const WinOp& b) {
+                      return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+                    });
+          if constexpr (HasUpdateBatch<Set>) {
+            // Merged flush: the net ops stay one sorted run with per-op
+            // insert/erase flags, so the structure stages both kinds in a
+            // single traversal — one wide KCAS per chunk covers the lot.
+            insKeys.clear();
+            insVals.clear();
+            std::size_t m = 0;
+            for (std::size_t i = 0; i < winBuf.size(); ++i) {
+              if (i + 1 < winBuf.size() && winBuf[i + 1].key == winBuf[i].key)
+                continue;  // not the last op on this key: annihilated
+              insKeys.push_back(winBuf[i].key);
+              insVals.push_back(winBuf[i].val);
+              insFlag[m++] = winBuf[i].isInsert;
+            }
+            winBuf.clear();
+            set.updateBatch(insKeys.data(), insVals.data(), insFlag.get(), m,
+                            outBuf.get());
+            for (std::size_t i = 0; i < m; ++i) {
+              if (!outBuf[i]) continue;
+              if (insFlag[i]) {
+                my.keysumDelta += insKeys[i];
+                keys.noteInsert(insKeys[i]);
+              } else {
+                my.keysumDelta -= insKeys[i];
+              }
+            }
+          } else {
+            erKeys.clear();
+            insKeys.clear();
+            insVals.clear();
+            for (std::size_t i = 0; i < winBuf.size(); ++i) {
+              if (i + 1 < winBuf.size() && winBuf[i + 1].key == winBuf[i].key)
+                continue;  // not the last op on this key: annihilated
+              if (winBuf[i].isInsert) {
+                insKeys.push_back(winBuf[i].key);
+                insVals.push_back(winBuf[i].val);
+              } else {
+                erKeys.push_back(winBuf[i].key);
+              }
+            }
+            winBuf.clear();
+            if (!erKeys.empty()) {
+              set.eraseBatch(erKeys.data(), erKeys.size(), outBuf.get());
+              for (std::size_t i = 0; i < erKeys.size(); ++i)
+                if (outBuf[i]) my.keysumDelta -= erKeys[i];
+            }
+            if (!insKeys.empty()) {
+              set.insertBatch(insKeys.data(), insVals.data(), insKeys.size(),
+                              outBuf.get());
+              for (std::size_t i = 0; i < insKeys.size(); ++i) {
+                if (outBuf[i]) {
+                  my.keysumDelta += insKeys[i];
+                  keys.noteInsert(insKeys[i]);
+                }
+              }
+            }
+          }
+        }
+      };
+
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) cpuRelax();
       const std::uint64_t c0 = rdtsc();
@@ -280,13 +417,29 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
         const std::int64_t k = keys.next();
         const std::uint64_t dice = rng.nextBounded(1000000000ULL);
         if (dice < insertCut) {
-          if (set.insert(k, k)) {
+          bool buffered = false;
+          if constexpr (HasBatchOps<Set>) {
+            if (batching) {
+              winBuf.push_back({k, k, static_cast<std::uint32_t>(winBuf.size()), true});
+              buffered = true;
+              if (winBuf.size() >= batchW) flushBatches();
+            }
+          }
+          if (!buffered && set.insert(k, k)) {
             my.keysumDelta += k;
             keys.noteInsert(k);
           }
           ++my.inserts;
         } else if (dice < deleteCut) {
-          if (set.erase(k)) my.keysumDelta -= k;
+          bool buffered = false;
+          if constexpr (HasBatchOps<Set>) {
+            if (batching) {
+              winBuf.push_back({k, k, static_cast<std::uint32_t>(winBuf.size()), false});
+              buffered = true;
+              if (winBuf.size() >= batchW) flushBatches();
+            }
+          }
+          if (!buffered && set.erase(k)) my.keysumDelta -= k;
           ++my.deletes;
         } else if (dice < rqCut) {
           if constexpr (HasRangeQuery<Set>) {
@@ -301,6 +454,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
         }
         ++my.ops;
       }
+      flushBatches();  // settle outstanding updates so keysum stays exact
       my.cycles = rdtsc() - c0;
     });
   }
@@ -384,6 +538,7 @@ inline void jsonAppendTrial(const std::string& experiment,
   std::fprintf(
       f,
       "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,\"shards\":%d,"
+      "\"batch\":%d,\"combine_window\":%d,"
       "\"key_range\":%lld,\"dist\":\"%s\",\"theta\":%g,\"mix\":\"%s\","
       "\"update_pct\":%.1f,\"rq_pct\":%.1f,"
       "\"rq_size\":%lld,\"mops\":%.4f,\"rq_mops\":%.4f,"
@@ -391,8 +546,8 @@ inline void jsonAppendTrial(const std::string& experiment,
       "\"rqs\":%llu,\"rq_keys\":%llu,"
       "\"cycles_per_op\":%llu,\"footprint_bytes\":%llu,"
       "\"elapsed_sec\":%.4f,\"keysum_ok\":%s}\n",
-      experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards,
-      static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
+      experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards, cfg.batch,
+      cfg.combineWindow, static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
       skewed ? cfg.dist.theta : 0.0, cfg.mix.c_str(),
       (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,
       static_cast<long long>(cfg.rqSize), r.mops, rqMops,

@@ -89,7 +89,8 @@ enum class ExecResult {
 /// Compile-time switches for the commit-path optimizations (see the header
 /// comment). Each one is independently toggleable so the ablation benchmark
 /// can attribute wins; production code uses TunedPolicy.
-template <bool DegenerateFastPaths, bool RelaxedPublication, int InlineSlots>
+template <bool DegenerateFastPaths, bool RelaxedPublication, int InlineSlots,
+          bool StagingMerge = true>
 struct KcasPolicy {
   /// k=1 ops bypass descriptor publication (plain CAS / single DCSS).
   static constexpr bool kDegenerateFastPaths = DegenerateFastPaths;
@@ -98,13 +99,18 @@ struct KcasPolicy {
   /// Entry/path slots kept inline in the hot descriptor header (0 = all
   /// slots live in the cold region, approximating the pre-split layout).
   static constexpr int kInlineEntries = InlineSlots;
+  /// Sorted staging via append + one tail-merge past k<=4 instead of a
+  /// per-entry shifting insert (quadratic for 5..kInline-entry ops) or a
+  /// full per-execute sort. Off reproduces the PR 5 staging exactly.
+  static constexpr bool kStagingMerge = StagingMerge;
 };
 
 /// Everything on: what DefaultDomain (and therefore every structure) runs.
 using TunedPolicy = KcasPolicy<true, true, 8>;
 /// Everything off: the pre-optimization engine, kept as the ablation
-/// baseline (seq_cst publication, descriptor for every op, flat layout).
-using LegacyPolicy = KcasPolicy<false, false, 0>;
+/// baseline (seq_cst publication, descriptor for every op, flat layout,
+/// per-execute full sort).
+using LegacyPolicy = KcasPolicy<false, false, 0, false>;
 
 // Defaults sized for the widest users: MCMS-style full-path compares need
 // ~2 entries per tree level; PathCAS visits need one path slot per level.
@@ -132,7 +138,7 @@ class KcasDomain {
     Staging& st = *slots().st;
     st.numEntries = 0;
     st.numPath = 0;
-    st.entriesUnsorted = false;
+    st.sortedPrefix = 0;
   }
 
   /// Stage ⟨addr, old, new⟩ (already-encoded words).
@@ -155,6 +161,13 @@ class KcasDomain {
 
   int numStagedEntries() { return slots().st->numEntries; }
   int numStagedPath() { return slots().st->numPath; }
+  /// numEntries + numPath through one TLS lookup: the batch-staging budget
+  /// probe runs once per visited node, so the two separate accessors would
+  /// pay the slots() indirection twice per hop on the hottest tree path.
+  int stagedFootprint() {
+    const Staging& st = *slots().st;
+    return st.numEntries + st.numPath;
+  }
 
   /// Drop the staged path (exec = vexec without validation, §3.3).
   void clearPath() { slots().st->numPath = 0; }
@@ -173,7 +186,7 @@ class KcasDomain {
   /// and a kMaxVisited-wide scan's escalation stays cheap.
   void promotePathToEntries() {
     Staging& st = *slots().st;
-    if (st.entriesUnsorted) sortEntries(st);
+    if (st.sortedPrefix != st.numEntries) sortEntries(st);
     const int np = st.numPath;
     StagedPath paths[MaxPath];
     for (int i = 0; i < np; ++i) paths[i] = st.pathAt(i);
@@ -197,6 +210,7 @@ class KcasDomain {
     while (ei < n) merged[out++] = st.entry(ei++);
     for (int i = 0; i < out; ++i) st.entry(i) = merged[i];
     st.numEntries = out;
+    st.sortedPrefix = out;
     st.numPath = 0;
   }
 
@@ -298,8 +312,9 @@ class KcasDomain {
     // Entries must be address-sorted before publication: the lock-freedom
     // argument (appendix C) relies on every helper locking addresses in one
     // global order. Small ops maintained the invariant at addEntry time;
-    // append-mode (MCMS-sized) staging restores it here, once.
-    if (st.entriesUnsorted) sortEntries(st);
+    // append-mode staging restores it here, once (a tail-sort + merge with
+    // the sorted prefix, or the legacy full sort — see sortEntries).
+    if (st.sortedPrefix != st.numEntries) sortEntries(st);
 
     // Reuse protocol (Arbel-Raviv & Brown): advance seqState FIRST — any
     // helper of the previous operation that later reads a freshly written
@@ -467,16 +482,19 @@ class KcasDomain {
   /// split: a tree-sized op (≤ kInline entries and path slots) lives
   /// entirely in the leading bytes — one or two cache lines, one page —
   /// instead of having its path slots sizeof(entries[MaxEntries]) away.
-  /// Entries are kept sorted by address (addEntryImpl; past
-  /// kSortedStagingBound they are appended and entriesUnsorted defers one
-  /// sort to execute/promote), which is what the lock-freedom argument
-  /// needs (one global locking order) and what lets promotePathToEntries
-  /// and the duplicate-address debug check use binary search / a merge
-  /// instead of O(n²) scans.
+  /// Entries [0, sortedPrefix) are address-sorted (addEntryImpl's shifting
+  /// insert maintains it up to kShiftBound entries); anything past the
+  /// prefix was appended out of order, and execute/promote restore the
+  /// full-sorted invariant once per op (sortEntries: with the staging-merge
+  /// policy a tail-sort plus one inplace_merge against the prefix, O(t log
+  /// t + n); legacy a full O(n log n) sort). The sorted invariant is what
+  /// the lock-freedom argument needs (one global locking order) and what
+  /// lets promotePathToEntries and the duplicate-address debug check use
+  /// binary search / a merge instead of O(n²) scans.
   struct Staging {
     std::int32_t numEntries = 0;
     std::int32_t numPath = 0;
-    bool entriesUnsorted = false;
+    std::int32_t sortedPrefix = 0;
     StagedEntry hotEntries[kHotSlots];
     StagedPath hotPath[kHotSlots];
     StagedEntry coldEntries[kColdEntrySlots];
@@ -593,21 +611,25 @@ class KcasDomain {
     return s;
   }
 
-  /// Staged ops stay address-sorted up to kSortedStagingBound entries —
-  /// every tree/list/queue op (k ≤ 4) pays a tiny shifting insert instead
-  /// of the per-execute std::sort the old engine ran. MCMS-sized ops (k up
-  /// to ~2·depth) would make shifting quadratic in moves, so past the bound
-  /// staging degrades to plain appends and execute()/promote() restore the
-  /// invariant with one O(k log k) sort — the old engine's exact cost. With
-  /// the layout toggle off the bound is 0, i.e. the legacy append+sort
-  /// behavior, keeping the ablation baseline faithful.
-  static constexpr int kSortedStagingBound = kInline;
+  /// Staged ops stay address-sorted by shifting insert up to kShiftBound
+  /// entries; past it staging degrades to plain appends and
+  /// execute()/promote() restore the invariant once. With the staging-merge
+  /// policy the shift bound is 4 — every tree/list/queue op (k ≤ 4) pays a
+  /// tiny shifting insert and NO sort, while wider ops (a mid-size k=5..8
+  /// op, an MCMS compare set, or a batched tree commit appending dozens of
+  /// entries) append in O(1) each and pay one tail-sort + merge at execute.
+  /// Shifting all the way to kInline (the PR 5 behavior, kept as the
+  /// ablation baseline) is quadratic in moves exactly in that 5..8 range.
+  /// With the layout toggle off the legacy bound is 0, i.e. pure
+  /// append+sort.
+  static constexpr int kShiftBound =
+      Policy::kStagingMerge ? (MaxEntries < 4 ? MaxEntries : 4) : kInline;
 
   void addEntryImpl(AtomicWord* addr, word_t oldEnc, word_t newEnc,
                     bool isVersionWord) {
     Staging& st = *slots().st;
     PATHCAS_CHECK(st.numEntries < MaxEntries);
-    if (st.entriesUnsorted || st.numEntries >= kSortedStagingBound) {
+    if (st.sortedPrefix != st.numEntries || st.numEntries >= kShiftBound) {
 #ifndef NDEBUG
       // Debug duplicate scan, linear like the old engine's (the sorted
       // prefix no longer covers the appended tail).
@@ -617,7 +639,6 @@ class KcasDomain {
 #endif
       st.entry(st.numEntries++) = StagedEntry{addr, oldEnc, newEnc,
                                               isVersionWord};
-      st.entriesUnsorted = true;
       return;
     }
     const int pos = st.lowerBound(addr);
@@ -626,19 +647,31 @@ class KcasDomain {
     for (int j = st.numEntries; j > pos; --j) st.entry(j) = st.entry(j - 1);
     st.entry(pos) = StagedEntry{addr, oldEnc, newEnc, isVersionWord};
     ++st.numEntries;
+    ++st.sortedPrefix;
   }
 
   /// Restore the sorted-entry invariant after append-mode staging. The
-  /// hot/cold split is not contiguous, so sort a flat copy and write back.
+  /// hot/cold split is not contiguous, so work on a flat copy and write
+  /// back. Staging-merge policy: only the appended tail is sorted, then
+  /// merged once with the already-sorted prefix — O(t log t + n) for a
+  /// t-entry tail, which is what makes batch-append staging (one append
+  /// per entry, one merge per commit) cheaper than per-entry shifting.
+  /// Legacy policy: the old engine's full O(n log n) sort.
   static void sortEntries(Staging& st) {
     StagedEntry tmp[MaxEntries];
     const int n = st.numEntries;
     for (int i = 0; i < n; ++i) tmp[i] = st.entry(i);
-    std::sort(tmp, tmp + n, [](const StagedEntry& a, const StagedEntry& b) {
+    const auto byAddr = [](const StagedEntry& a, const StagedEntry& b) {
       return a.addr < b.addr;
-    });
+    };
+    if constexpr (Policy::kStagingMerge) {
+      std::sort(tmp + st.sortedPrefix, tmp + n, byAddr);
+      std::inplace_merge(tmp, tmp + st.sortedPrefix, tmp + n, byAddr);
+    } else {
+      std::sort(tmp, tmp + n, byAddr);
+    }
     for (int i = 0; i < n; ++i) st.entry(i) = tmp[i];
-    st.entriesUnsorted = false;
+    st.sortedPrefix = n;
   }
 
   static bool validateStagedOn(Staging& st) {

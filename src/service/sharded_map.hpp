@@ -46,6 +46,24 @@
 // examined nodes (paper footnote 2) — sharding multiplies the total window
 // capacity by N, another practical win of the partitioning.
 //
+// Flat combining (Config::combineWindow >= 2, or PATHCAS_COMBINE_WINDOW):
+// every update routes through its shard's combiner. A thread deposits its op
+// in a per-(shard, tid) publication slot and spins; whoever wins the shard's
+// combiner lock gathers up to combineWindow pending ops, merges same-key ops
+// (duplicate inserts/erases collapse, and an insert+erase pair on one key
+// ANNIHILATES — both linearize, zero words staged), and commits the rest via
+// the trees' insertBatch/eraseBatch wide KCAS. A combiner that finds only its
+// own op falls back to a direct per-op commit, so the low-contention cost is
+// one uncontended exchange. The combiner lock is the shard's mutation
+// license: combined windows, map-level batch ops, everything that writes the
+// shard serializes on it (reads stay direct — they are validated snapshots
+// either way). Linearization of a combined window: ops on distinct keys
+// linearize at the window's KCAS commits; same-key groups linearize
+// back-to-back in deposit order at that same commit (for an annihilated
+// pair, at the probe) — legal because every op in the window is concurrent
+// with the whole window: each depositor is still spinning in its call until
+// the combiner publishes its result.
+//
 // bulkLoad(sortedKeys, nthreads): parallel construction replacing the serial
 // prefill loop. Keys are pre-sorted; each shard's slice is found by binary
 // search, reordered median-first (balanced BFS order, so even the plain BST
@@ -59,6 +77,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -90,16 +109,34 @@ class ShardedMap {
     /// (service/topology.hpp). Best-effort; a no-op on single-package
     /// machines or when affinity syscalls are unavailable.
     bool pinThreads = false;
+    /// Per-shard flat-combining window (header comment). <= 1 (default)
+    /// commits every update directly; >= 2 enables combining with at most
+    /// this many ops merged per window. Clamped to [0, kMaxCombine].
+    /// The PATHCAS_COMBINE_WINDOW environment variable, when set,
+    /// overrides this value.
+    int combineWindow = 0;
   };
+
+  /// Hard cap on ops merged into one combined window (bounds the combiner's
+  /// stack scratch; well above any useful window — a window is only worth
+  /// what fits in one wide KCAS).
+  static constexpr int kMaxCombine = 64;
 
   /// `nshards` >= 1 partitions of the key space [0, keySpace).
   ShardedMap(int nshards, K keySpace, Config config = {})
       : config_(config), nshards_(nshards), keySpace_(keySpace) {
     PATHCAS_CHECK(nshards >= 1);
     PATHCAS_CHECK(keySpace >= 1);
+    if (const char* env = std::getenv("PATHCAS_COMBINE_WINDOW"))
+      config_.combineWindow = std::atoi(env);
+    combineWindow_ = std::clamp(config_.combineWindow, 0, kMaxCombine);
     shards_.reserve(static_cast<std::size_t>(nshards));
-    for (int s = 0; s < nshards; ++s)
+    for (int s = 0; s < nshards; ++s) {
       shards_.push_back(std::make_unique<Shard>(config_.treeOptions));
+      if (combining())
+        shards_.back()->slots =
+            std::make_unique<Padded<OpSlot>[]>(kMaxThreads);
+    }
   }
 
   ShardedMap(const ShardedMap&) = delete;
@@ -140,12 +177,14 @@ class ShardedMap {
 
   bool insert(K key, V val) {
     Shard& sh = shard(key);
+    if (combining()) return combinedUpdate(sh, OpSlot::kInsert, key, val);
     k::ScopedDomain scope(sh.set->kcas());
     return sh.tree->insert(key, val);
   }
 
   bool erase(K key) {
     Shard& sh = shard(key);
+    if (combining()) return combinedUpdate(sh, OpSlot::kErase, key, V{});
     k::ScopedDomain scope(sh.set->kcas());
     return sh.tree->erase(key);
   }
@@ -160,6 +199,42 @@ class ShardedMap {
     Shard& sh = shard(key);
     k::ScopedDomain scope(sh.set->kcas());
     return sh.tree->get(key);
+  }
+
+  // ----------------------------------------------------------------------
+  // Batched updates: a strictly-ascending key run is partitioned into
+  // per-shard slices (shardOf is monotone in the key) and each slice drives
+  // the shard tree's group commit. When combining is on, the shard's
+  // combiner lock serializes these with combined windows.
+  // ----------------------------------------------------------------------
+
+  /// insertIfAbsent over a strictly-ascending key run; outcomes[i] true iff
+  /// keys[i] was inserted. Returns the number of insertions. Atomicity is
+  /// per tree-level chunk, not across the whole run.
+  std::size_t insertBatch(const K* keys, const V* vals, std::size_t n,
+                          bool* outcomes) {
+    std::size_t inserted = 0;
+    forEachShardSlice(keys, n, [&](int s, std::size_t lo, std::size_t hi) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      CombinerLockGuard lock(*this, sh);
+      k::ScopedDomain scope(sh.set->kcas());
+      inserted +=
+          sh.tree->insertBatch(keys + lo, vals + lo, hi - lo, outcomes + lo);
+    });
+    return inserted;
+  }
+
+  /// delete over a strictly-ascending key run; outcomes[i] true iff keys[i]
+  /// was removed. Returns the number of removals.
+  std::size_t eraseBatch(const K* keys, std::size_t n, bool* outcomes) {
+    std::size_t erased = 0;
+    forEachShardSlice(keys, n, [&](int s, std::size_t lo, std::size_t hi) {
+      Shard& sh = *shards_[static_cast<std::size_t>(s)];
+      CombinerLockGuard lock(*this, sh);
+      k::ScopedDomain scope(sh.set->kcas());
+      erased += sh.tree->eraseBatch(keys + lo, hi - lo, outcomes + lo);
+    });
+    return erased;
   }
 
   // ----------------------------------------------------------------------
@@ -372,6 +447,22 @@ class ShardedMap {
   }
 
  private:
+  /// One thread's publication slot on one shard. Transitions: kEmpty ->
+  /// kPending (owner, release), kPending -> kDone (combiner, under the
+  /// combiner lock, release), kDone -> kEmpty (owner, after reading the
+  /// result). The combiner only reads fields of kPending slots and only
+  /// writes `result` before the kDone store, so slot fields need no atomics
+  /// of their own.
+  struct OpSlot {
+    enum : std::uint8_t { kEmpty = 0, kPending = 1, kDone = 2 };
+    enum : std::uint8_t { kInsert = 0, kErase = 1 };
+    std::atomic<std::uint8_t> state{kEmpty};
+    std::uint8_t op = kInsert;
+    K key{};
+    V val{};
+    bool result = false;
+  };
+
   struct Shard {
     explicit Shard(const Options& opts)
         : set(std::make_unique<recl::DomainSet>()) {
@@ -382,7 +473,189 @@ class ShardedMap {
     // Declared after `set` => destroyed first (returns its nodes to the
     // set's pools while they are alive).
     std::unique_ptr<Tree> tree;
+    /// Combining state; `slots` is allocated only when the map combines.
+    std::atomic<bool> combinerLock{false};
+    std::unique_ptr<Padded<OpSlot>[]> slots;
   };
+
+  /// Scoped hold of a shard's combiner lock — a no-op when combining is
+  /// off (direct commits need no mutation license).
+  struct CombinerLockGuard {
+    CombinerLockGuard(ShardedMap& m, Shard& sh)
+        : lock_(m.combining() ? &sh.combinerLock : nullptr) {
+      if (lock_ != nullptr) {
+        Backoff backoff;
+        while (lock_->exchange(true, std::memory_order_acquire))
+          backoff.pause();
+      }
+    }
+    ~CombinerLockGuard() {
+      if (lock_ != nullptr) lock_->store(false, std::memory_order_release);
+    }
+    CombinerLockGuard(const CombinerLockGuard&) = delete;
+    CombinerLockGuard& operator=(const CombinerLockGuard&) = delete;
+
+   private:
+    std::atomic<bool>* lock_;
+  };
+
+  bool combining() const { return combineWindow_ >= 2; }
+
+  /// Deposit-and-spin protocol (header comment). The depositor either finds
+  /// its result published, or wins the combiner lock and serves a window
+  /// (its own op included) itself.
+  bool combinedUpdate(Shard& sh, std::uint8_t op, K key, V val) {
+    const int tid = ThreadRegistry::tid();
+    OpSlot& my = *sh.slots[static_cast<std::size_t>(tid)];
+    my.op = op;
+    my.key = key;
+    my.val = val;
+    my.state.store(OpSlot::kPending, std::memory_order_release);
+    Backoff backoff;
+    for (;;) {
+      if (my.state.load(std::memory_order_acquire) == OpSlot::kDone) {
+        const bool r = my.result;
+        my.state.store(OpSlot::kEmpty, std::memory_order_release);
+        return r;
+      }
+      if (!sh.combinerLock.exchange(true, std::memory_order_acquire)) {
+        combineShard(sh, &my);
+        sh.combinerLock.store(false, std::memory_order_release);
+      } else {
+        backoff.pause();
+      }
+    }
+  }
+
+  /// Gather up to combineWindow_ pending ops (the caller's first, so a
+  /// combiner always serves itself unless a previous window already did)
+  /// and commit them. Runs under the shard's combiner lock.
+  void combineShard(Shard& sh, OpSlot* mine) {
+    OpSlot* ops[kMaxCombine];
+    int n = 0;
+    if (mine->state.load(std::memory_order_acquire) == OpSlot::kPending)
+      ops[n++] = mine;
+    const int maxTid = ThreadRegistry::instance().maxTid();
+    for (int t = 0; t < maxTid && n < combineWindow_; ++t) {
+      OpSlot& slot = *sh.slots[static_cast<std::size_t>(t)];
+      if (&slot == mine) continue;
+      if (slot.state.load(std::memory_order_acquire) == OpSlot::kPending)
+        ops[n++] = &slot;
+    }
+    if (n == 0) return;
+    k::ScopedDomain scope(sh.set->kcas());
+    if (n == 1) {
+      // Low contention: direct per-op commit (the k=1 fast path), no
+      // batching overhead beyond the lock exchange.
+      OpSlot& s = *ops[0];
+      s.result = (s.op == OpSlot::kInsert) ? sh.tree->insert(s.key, s.val)
+                                           : sh.tree->erase(s.key);
+      s.state.store(OpSlot::kDone, std::memory_order_release);
+      return;
+    }
+    combineOps(sh, ops, n);
+  }
+
+  /// Merge a gathered window: group by key, collapse duplicates, annihilate
+  /// mixed groups down to their net effect, and commit the survivors as one
+  /// eraseBatch + one insertBatch (disjoint key sets). Linearization: see
+  /// the header comment.
+  void combineOps(Shard& sh, OpSlot** ops, int n) {
+    std::stable_sort(ops, ops + n, [](const OpSlot* a, const OpSlot* b) {
+      return a->key < b->key;
+    });
+    K insKeys[kMaxCombine];
+    V insVals[kMaxCombine];
+    OpSlot* insOwner[kMaxCombine];
+    K erKeys[kMaxCombine];
+    OpSlot* erOwner[kMaxCombine];
+    int ni = 0, ne = 0;
+    for (int i = 0; i < n;) {
+      int j = i;
+      while (j < n && ops[j]->key == ops[i]->key) ++j;
+      const K k = ops[i]->key;
+      int inserts = 0;
+      for (int t = i; t < j; ++t)
+        if (ops[t]->op == OpSlot::kInsert) ++inserts;
+      if (inserts == j - i) {
+        // Duplicate inserts: only the first can succeed; the rest would
+        // find the key present whatever the prior state.
+        insKeys[ni] = k;
+        insVals[ni] = ops[i]->val;
+        insOwner[ni] = ops[i];
+        ++ni;
+        for (int t = i + 1; t < j; ++t) ops[t]->result = false;
+      } else if (inserts == 0) {
+        erKeys[ne] = k;
+        erOwner[ne] = ops[i];
+        ++ne;
+        for (int t = i + 1; t < j; ++t) ops[t]->result = false;
+      } else {
+        // Mixed inserts and erases on one key: probe once (stable — the
+        // combiner lock excludes every other mutator on this shard),
+        // linearize the group in gather order, and stage only the NET
+        // effect; a group whose net is a no-op annihilates entirely.
+        const bool present = sh.tree->contains(k);
+        bool state = present;
+        OpSlot* lastIns = nullptr;
+        for (int t = i; t < j; ++t) {
+          if (ops[t]->op == OpSlot::kInsert) {
+            ops[t]->result = !state;
+            state = true;
+            lastIns = ops[t];
+          } else {
+            ops[t]->result = state;
+            state = false;
+          }
+        }
+        if (state && !present) {
+          insKeys[ni] = k;
+          insVals[ni] = lastIns->val;
+          insOwner[ni] = nullptr;  // results already decided by simulation
+          ++ni;
+        } else if (!state && present) {
+          erKeys[ne] = k;
+          erOwner[ne] = nullptr;
+          ++ne;
+        }
+      }
+      i = j;
+    }
+    bool outcomes[kMaxCombine];
+    if (ne > 0) {
+      sh.tree->eraseBatch(erKeys, static_cast<std::size_t>(ne), outcomes);
+      for (int t = 0; t < ne; ++t) {
+        if (erOwner[t] != nullptr) erOwner[t]->result = outcomes[t];
+        else PATHCAS_DCHECK(outcomes[t]);  // probe said present; no other mutator
+      }
+    }
+    if (ni > 0) {
+      sh.tree->insertBatch(insKeys, insVals, static_cast<std::size_t>(ni),
+                           outcomes);
+      for (int t = 0; t < ni; ++t) {
+        if (insOwner[t] != nullptr) insOwner[t]->result = outcomes[t];
+        else PATHCAS_DCHECK(outcomes[t]);
+      }
+    }
+    for (int t = 0; t < n; ++t)
+      ops[t]->state.store(OpSlot::kDone, std::memory_order_release);
+  }
+
+  /// Call f(shard, lo, hi) for each maximal same-shard slice of an
+  /// ascending key run (shardOf is monotone, so slices are contiguous).
+  template <typename F>
+  void forEachShardSlice(const K* keys, std::size_t n, F&& f) {
+    std::size_t lo = 0;
+    while (lo < n) {
+      const int s = shardOf(keys[lo]);
+      const K* const end =
+          std::partition_point(keys + lo, keys + n,
+                               [this, s](K k) { return shardOf(k) <= s; });
+      const std::size_t hi = static_cast<std::size_t>(end - keys);
+      f(s, lo, hi);
+      lo = hi;
+    }
+  }
 
   Shard& shard(K key) {
     return *shards_[static_cast<std::size_t>(shardOf(key))];
@@ -419,6 +692,7 @@ class ShardedMap {
   Config config_;
   int nshards_;
   K keySpace_;
+  int combineWindow_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -12,6 +12,7 @@
 // subtree movements) at the cost of a slightly wider KCAS.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -252,6 +253,43 @@ class IntAvlPathCas {
   }
 
   // ------------------------------------------------------------------
+  // Batched updates (group commit). Same contract and split rules as
+  // IntBstPathCas::insertBatch/eraseBatch; see the "Batched commits"
+  // section of docs/ARCHITECTURE.md. AVL-specific deltas: inserted runs
+  // become height-annotated balanced subtrees whose attach points are
+  // rebalanced after the commit, and only LEAF removals are staged in the
+  // wide KCAS — a one-child splice retargets the kept child's parent word,
+  // which may already carry a staged version bump from the child's own
+  // subtree in the same batch (an address staged twice is undefined), so
+  // one-child and two-child removals defer to per-op erase().
+  // ------------------------------------------------------------------
+
+  /// insertIfAbsent over a strictly-ascending key run; see
+  /// IntBstPathCas::insertBatch.
+  std::size_t insertBatch(const K* keys, const V* vals, std::size_t n,
+                          bool* outcomes) {
+    checkBatchKeys(keys, n);
+    for (std::size_t i = 0; i < n; ++i) outcomes[i] = false;
+    const std::size_t chunk = batchChunkWidth();
+    std::size_t inserted = 0;
+    for (std::size_t i = 0; i < n; i += chunk)
+      inserted += insertRun(keys + i, vals + i, std::min(chunk, n - i),
+                            outcomes + i);
+    return inserted;
+  }
+
+  /// delete over a strictly-ascending key run; see IntBstPathCas::eraseBatch.
+  std::size_t eraseBatch(const K* keys, std::size_t n, bool* outcomes) {
+    checkBatchKeys(keys, n);
+    for (std::size_t i = 0; i < n; ++i) outcomes[i] = false;
+    const std::size_t chunk = batchChunkWidth();
+    std::size_t erased = 0;
+    for (std::size_t i = 0; i < n; i += chunk)
+      erased += eraseRun(keys + i, std::min(chunk, n - i), outcomes + i);
+    return erased;
+  }
+
+  // ------------------------------------------------------------------
   // Quiescent-state inspection.
   // ------------------------------------------------------------------
 
@@ -346,6 +384,279 @@ class IntAvlPathCas {
       prefetch(succ->left);
       succVer = visit(next);
     }
+  }
+
+  // --- batched-commit machinery (see IntBstPathCas for the protocol) --
+
+  static constexpr int kBatchRetries = 3;
+  static constexpr int kBatchStageBudget =
+      static_cast<int>(k::DefaultDomain::kMaxEntries) - 16;
+
+  enum class StageStatus { kOk, kRetry, kOverflow };
+
+  static bool stageBudgetLeft(int need = 1) {
+    return domain().stagedFootprint() + need <= kBatchStageBudget;
+  }
+
+  std::size_t batchChunkWidth() const {
+    return opt_.batchOpsPerCommit > 1
+               ? static_cast<std::size_t>(opt_.batchOpsPerCommit)
+               : 1;
+  }
+
+  static void checkBatchKeys(const K* keys, std::size_t n) {
+    (void)keys;
+    (void)n;
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < n; ++i) {
+      PATHCAS_DCHECK(keys[i] > kNegInf && keys[i] < kPosInf);
+      PATHCAS_DCHECK(i == 0 || keys[i - 1] < keys[i]);
+    }
+#endif
+  }
+
+  struct InsertScratch {
+    std::vector<Node*> built;   // unpublished subtree roots (freed on abort)
+    std::vector<Node*> attach;  // nodes gaining a subtree (rebalance roots)
+    std::vector<std::pair<std::size_t, std::size_t>> staged;  // outcome ranges
+  };
+
+  void discardInsertAttempt(InsertScratch& sc) {
+    for (Node* n : sc.built) freeSubtree(n);
+    sc.built.clear();
+    sc.attach.clear();
+    sc.staged.clear();
+  }
+
+  /// Balanced, height-annotated subtree of keys[lo..hi), built privately
+  /// under `parent` (setInitial): only shared if the staged link commits.
+  Node* buildSubtree(const K* keys, const V* vals, std::size_t lo,
+                     std::size_t hi, Node* parent) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    Node* const n = pool_.alloc(keys[mid], vals[mid], parent);
+    std::int64_t lh = 0, rh = 0;
+    if (lo < mid) {
+      Node* const l = buildSubtree(keys, vals, lo, mid, n);
+      n->left.setInitial(l);
+      lh = l->height.load();
+    }
+    if (mid + 1 < hi) {
+      Node* const r = buildSubtree(keys, vals, mid + 1, hi, n);
+      n->right.setInitial(r);
+      rh = r->height.load();
+    }
+    if (lh != 0 || rh != 0) n->height.setInitial(1 + std::max(lh, rh));
+    return n;
+  }
+
+  StageStatus stageInsertNode(Node* node, Version nodeVer, const K* keys,
+                              const V* vals, std::size_t lo, std::size_t hi,
+                              InsertScratch& sc) {
+    if (isMarked(nodeVer)) return StageStatus::kRetry;
+    const K nodeKey = node->key;
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(keys + lo, keys + hi, nodeKey) - keys);
+    std::size_t rlo = mid;
+    if (rlo < hi && keys[rlo] == nodeKey) ++rlo;  // present: outcome stays false
+    bool childStaged = false;
+    if (lo < mid) {
+      const StageStatus s = stageInsertChild(node, node->left, keys, vals, lo,
+                                             mid, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (rlo < hi) {
+      const StageStatus s = stageInsertChild(node, node->right, keys, vals,
+                                             rlo, hi, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (childStaged) {
+      if (!stageBudgetLeft()) return StageStatus::kOverflow;
+      addVer(node->ver, nodeVer, verBump(nodeVer));
+    }
+    return StageStatus::kOk;
+  }
+
+  StageStatus stageInsertChild(Node* node, casword<Node*>& slot,
+                               const K* keys, const V* vals, std::size_t lo,
+                               std::size_t hi, InsertScratch& sc,
+                               bool& childStaged) {
+    Node* const child = slot.load();
+    if (child != nullptr) {
+      if (!stageBudgetLeft()) return StageStatus::kOverflow;
+      const Version childVer = visit(child);
+      return stageInsertNode(child, childVer, keys, vals, lo, hi, sc);
+    }
+    if (!stageBudgetLeft(2)) return StageStatus::kOverflow;
+    Node* const sub = buildSubtree(keys, vals, lo, hi, node);
+    sc.built.push_back(sub);
+    sc.attach.push_back(node);
+    sc.staged.emplace_back(lo, hi);
+    add(slot, static_cast<Node*>(nullptr), sub);
+    childStaged = true;
+    return StageStatus::kOk;
+  }
+
+  std::size_t insertRun(const K* keys, const V* vals, std::size_t n,
+                        bool* out) {
+    if (n == 0) return 0;
+    if (n == 1) {  // degraded to the per-op commit (k=1 fast path)
+      out[0] = insert(keys[0], vals[0]);
+      return out[0] ? 1u : 0u;
+    }
+    auto guard = ebr_.pin();
+    InsertScratch sc;
+    for (int attempt = 0; attempt < kBatchRetries; ++attempt) {
+      start();
+      const Version rootVer = visit(minRoot_);
+      const StageStatus s =
+          stageInsertNode(minRoot_, rootVer, keys, vals, 0, n, sc);
+      if (s == StageStatus::kOverflow) {
+        discardInsertAttempt(sc);
+        break;  // deterministic: retrying the same width cannot help
+      }
+      if (s == StageStatus::kRetry) {
+        discardInsertAttempt(sc);
+        continue;
+      }
+      if (sc.staged.empty()) {
+        if (opt_.reduceValidation || validate()) return 0;
+        continue;
+      }
+      if (vex()) {
+        std::size_t inserted = 0;
+        for (const auto& range : sc.staged) {
+          for (std::size_t i = range.first; i < range.second; ++i) {
+            out[i] = true;
+            ++inserted;
+          }
+        }
+        // An attached subtree is internally balanced but may unbalance the
+        // path above its attach point; repair from there (Bougé walk-up).
+        for (Node* at : sc.attach) rebalance(at);
+        return inserted;
+      }
+      discardInsertAttempt(sc);
+    }
+    const std::size_t half = n / 2;  // split-and-retry
+    return insertRun(keys, vals, half, out) +
+           insertRun(keys + half, vals + half, n - half, out + half);
+  }
+
+  struct EraseScratch {
+    std::vector<Node*> unlink;             // staged-out leaves (retired on commit)
+    std::vector<Node*> rebal;              // their parents (rebalance roots)
+    std::vector<std::size_t> stagedIdx;    // outcome indices of staged removals
+    std::vector<std::size_t> deferredIdx;  // per-op erase() after the commit
+  };
+
+  struct EraseFrame {
+    bool removed = false;
+  };
+
+  StageStatus stageEraseNode(Node* node, Version nodeVer, const K* keys,
+                             std::size_t lo, std::size_t hi, EraseScratch& sc,
+                             EraseFrame& fr) {
+    if (isMarked(nodeVer)) return StageStatus::kRetry;
+    const K nodeKey = node->key;
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(keys + lo, keys + hi, nodeKey) - keys);
+    const bool matched = mid < hi && keys[mid] == nodeKey;
+    const std::size_t rlo = matched ? mid + 1 : mid;
+    Node* const left = node->left.load();
+    Node* const right = node->right.load();
+    bool childStaged = false;
+    if (lo < mid && left != nullptr) {
+      const StageStatus s = stageEraseEdge(node, node->left, left, keys, lo,
+                                           mid, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (rlo < hi && right != nullptr) {
+      const StageStatus s = stageEraseEdge(node, node->right, right, keys,
+                                           rlo, hi, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (matched) {
+      if (!childStaged && left == nullptr && right == nullptr) {
+        if (!stageBudgetLeft(2)) return StageStatus::kOverflow;
+        // Leaf: mark node; the parent frame swings its slot and bumps its
+        // own version. Matches the per-op leaf-deletion entry set exactly.
+        addVer(node->ver, nodeVer, verMark(nodeVer));
+        fr.removed = true;
+        sc.unlink.push_back(node);
+        sc.stagedIdx.push_back(mid);
+        return StageStatus::kOk;
+      }
+      // One-child / two-child / touched-by-this-batch: per-op fallback.
+      sc.deferredIdx.push_back(mid);
+    }
+    if (childStaged) {
+      if (!stageBudgetLeft()) return StageStatus::kOverflow;
+      addVer(node->ver, nodeVer, verBump(nodeVer));
+    }
+    return StageStatus::kOk;
+  }
+
+  StageStatus stageEraseEdge(Node* node, casword<Node*>& slot, Node* child,
+                             const K* keys, std::size_t lo, std::size_t hi,
+                             EraseScratch& sc, bool& childStaged) {
+    if (!stageBudgetLeft(2)) return StageStatus::kOverflow;
+    const Version childVer = visit(child);
+    EraseFrame cf;
+    const StageStatus s =
+        stageEraseNode(child, childVer, keys, lo, hi, sc, cf);
+    if (s != StageStatus::kOk) return s;
+    if (cf.removed) {
+      add(slot, child, static_cast<Node*>(nullptr));
+      sc.rebal.push_back(node);
+      childStaged = true;
+    }
+    return StageStatus::kOk;
+  }
+
+  std::size_t eraseRun(const K* keys, std::size_t n, bool* out) {
+    if (n == 0) return 0;
+    if (n == 1) {  // degraded to the per-op commit
+      out[0] = erase(keys[0]);
+      return out[0] ? 1u : 0u;
+    }
+    auto guard = ebr_.pin();
+    EraseScratch sc;
+    for (int attempt = 0; attempt < kBatchRetries; ++attempt) {
+      start();
+      sc.unlink.clear();
+      sc.rebal.clear();
+      sc.stagedIdx.clear();
+      sc.deferredIdx.clear();
+      const Version rootVer = visit(minRoot_);
+      EraseFrame rootFrame;
+      const StageStatus s =
+          stageEraseNode(minRoot_, rootVer, keys, 0, n, sc, rootFrame);
+      if (s == StageStatus::kOverflow) break;
+      if (s == StageStatus::kRetry) continue;
+      PATHCAS_DCHECK(!rootFrame.removed);  // minRoot's key is a sentinel
+      if (sc.unlink.empty()) {
+        if (!validate()) continue;
+        return finishEraseRun(keys, out, sc);
+      }
+      if (vex()) {
+        for (Node* dead : sc.unlink) ebr_.retire(dead, pool_);
+        for (Node* p : sc.rebal) rebalance(p);
+        return finishEraseRun(keys, out, sc);
+      }
+    }
+    const std::size_t half = n / 2;  // split-and-retry
+    return eraseRun(keys, half, out) +
+           eraseRun(keys + half, n - half, out + half);
+  }
+
+  std::size_t finishEraseRun(const K* keys, bool* out, EraseScratch& sc) {
+    std::size_t erased = sc.stagedIdx.size();
+    for (std::size_t idx : sc.stagedIdx) out[idx] = true;
+    for (std::size_t idx : sc.deferredIdx) {
+      out[idx] = erase(keys[idx]);
+      if (out[idx]) ++erased;
+    }
+    return erased;
   }
 
   bool vex() { return opt_.useHtmFastPath ? vexecFast() : vexec(); }

@@ -13,6 +13,7 @@
 // established an atomic snapshot of the search path.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -45,6 +46,13 @@ struct IntBstOptions {
   bool reduceValidation = true;
   /// Route updates through the HTM fast path (the paper's int-bst-pathcas+).
   bool useHtmFastPath = false;
+  /// Max logical ops staged into one wide KCAS by insertBatch/eraseBatch/
+  /// updateBatch before the sorted run is chunked into separate commits.
+  /// Values <= 1 degrade batches to per-op commits; small values force
+  /// deterministic splits (tests). 32 amortizes the per-commit fixed costs
+  /// further than 16 while still fitting the staging budget for trees up to
+  /// ~12 levels; deeper trees overflow the budget and split gracefully.
+  int batchOpsPerCommit = 32;
 };
 
 template <typename K = std::int64_t, typename V = std::int64_t>
@@ -269,6 +277,66 @@ class IntBstPathCas {
   }
 
   // ------------------------------------------------------------------
+  // Batched updates (group commit). One shared traversal stages every op
+  // of a sorted key run into a single wide KCAS, amortizing descriptor
+  // publication and re-validation of the common path prefix across the
+  // run. Chunks wider than batchOpsPerCommit — and chunks that overflow
+  // the staging budget or keep losing their commit — are split in half
+  // and retried, degrading to per-op insert()/erase() at width 1, so a
+  // conflicted batch can never livelock the per-op fast paths.
+  // ------------------------------------------------------------------
+
+  /// insertIfAbsent over a strictly-ascending key run. outcomes[i] is set
+  /// true iff keys[i] was inserted (false: already present); returns the
+  /// number of insertions. All ops of one committed chunk linearize at its
+  /// single KCAS; separate chunks linearize independently, in key order.
+  std::size_t insertBatch(const K* keys, const V* vals, std::size_t n,
+                          bool* outcomes) {
+    checkBatchKeys(keys, n);
+    for (std::size_t i = 0; i < n; ++i) outcomes[i] = false;
+    const std::size_t chunk = batchChunkWidth();
+    std::size_t inserted = 0;
+    for (std::size_t i = 0; i < n; i += chunk)
+      inserted += insertRun(keys + i, vals + i, std::min(chunk, n - i),
+                            outcomes + i);
+    return inserted;
+  }
+
+  /// delete over a strictly-ascending key run. outcomes[i] is set true iff
+  /// keys[i] was removed (false: absent); returns the number of removals.
+  /// Leaf and one-child removals are staged into the chunk's wide KCAS;
+  /// removals whose node was already touched by the same chunk (a child
+  /// slot swing staged on it) and two-child removals (successor swap) fall
+  /// back to per-op erase() immediately after the chunk commits.
+  std::size_t eraseBatch(const K* keys, std::size_t n, bool* outcomes) {
+    checkBatchKeys(keys, n);
+    for (std::size_t i = 0; i < n; ++i) outcomes[i] = false;
+    const std::size_t chunk = batchChunkWidth();
+    std::size_t erased = 0;
+    for (std::size_t i = 0; i < n; i += chunk)
+      erased += eraseRun(keys + i, std::min(chunk, n - i), outcomes + i);
+    return erased;
+  }
+
+  /// Mixed update over a strictly-ascending key run: op i inserts
+  /// (isInsert[i]) or erases keys[i]. One shared traversal stages the whole
+  /// chunk — both op kinds — into a single wide KCAS, so a netted
+  /// group-commit window pays one descent and one descriptor instead of an
+  /// erase pass plus an insert pass. outcomes[i] is set true iff op i took
+  /// effect (key inserted / removed); returns the number of effective ops.
+  std::size_t updateBatch(const K* keys, const V* vals, const bool* isInsert,
+                          std::size_t n, bool* outcomes) {
+    checkBatchKeys(keys, n);
+    for (std::size_t i = 0; i < n; ++i) outcomes[i] = false;
+    const std::size_t chunk = batchChunkWidth();
+    std::size_t applied = 0;
+    for (std::size_t i = 0; i < n; i += chunk)
+      applied += updateRun(keys + i, vals + i, isInsert + i,
+                           std::min(chunk, n - i), outcomes + i);
+    return applied;
+  }
+
+  // ------------------------------------------------------------------
   // Quiescent-state inspection (tests and the benchmark harness only).
   // ------------------------------------------------------------------
 
@@ -353,6 +421,631 @@ class IntBstPathCas {
       prefetch(succ->left);
       succVer = visit(next);
     }
+  }
+
+  // --- batched-commit machinery -------------------------------------
+
+  /// Attempts per chunk before splitting; conflicts under contention are
+  /// expected, and halving converges to the per-op paths quickly.
+  static constexpr int kBatchRetries = 3;
+  /// Combined path+entries budget for one chunk. vexec's strong path merges
+  /// the visited set into the entry array (cap k::DefaultDomain::kMaxEntries),
+  /// so a batch must leave headroom below that cap or the escalation would
+  /// overflow.
+  static constexpr int kBatchStageBudget =
+      static_cast<int>(k::DefaultDomain::kMaxEntries) - 16;
+
+  enum class StageStatus {
+    kOk,
+    kRetry,    // transient (marked node seen): same width, fresh traversal
+    kOverflow  // staging budget: deterministic, split without retrying
+  };
+
+  /// `dom` is the run's cached domain reference: the probe runs once per
+  /// visited node, and re-resolving the thread-local domain each time costs
+  /// more than the comparison itself.
+  static bool stageBudgetLeft(k::DefaultDomain& dom, int need = 1) {
+    return dom.stagedFootprint() + need <= kBatchStageBudget;
+  }
+
+  std::size_t batchChunkWidth() const {
+    return opt_.batchOpsPerCommit > 1
+               ? static_cast<std::size_t>(opt_.batchOpsPerCommit)
+               : 1;
+  }
+
+  static void checkBatchKeys(const K* keys, std::size_t n) {
+    (void)keys;
+    (void)n;
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < n; ++i) {
+      PATHCAS_DCHECK(keys[i] > kNegInf && keys[i] < kPosInf);
+      PATHCAS_DCHECK(i == 0 || keys[i - 1] < keys[i]);
+    }
+#endif
+  }
+
+  struct InsertScratch {
+    k::DefaultDomain* dom = nullptr;  // cached once per run (budget probes)
+    std::vector<Node*> built;  // unpublished subtree roots (freed on abort)
+    std::vector<std::pair<std::size_t, std::size_t>> staged;  // outcome ranges
+  };
+
+  void discardInsertAttempt(InsertScratch& sc) {
+    for (Node* n : sc.built) freeSubtree(n);
+    sc.built.clear();
+    sc.staged.clear();
+  }
+
+  /// Balanced subtree of keys[lo..hi), built privately (setInitial): it only
+  /// becomes shared if the staged link to it commits.
+  Node* buildSubtree(const K* keys, const V* vals, std::size_t lo,
+                     std::size_t hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    Node* n = pool_.alloc(keys[mid], vals[mid]);
+    if (lo < mid) n->left.setInitial(buildSubtree(keys, vals, lo, mid));
+    if (mid + 1 < hi)
+      n->right.setInitial(buildSubtree(keys, vals, mid + 1, hi));
+    return n;
+  }
+
+  /// Stage the inserts of keys[lo..hi) under `node` (already visited at
+  /// nodeVer by the caller). Each key run partitions around node->key; a run
+  /// landing on a null child slot becomes one staged link to a prebuilt
+  /// subtree. Every node whose child slot changes gets exactly one version
+  /// bump, so no address is staged twice.
+  StageStatus stageInsertNode(Node* node, Version nodeVer, const K* keys,
+                              const V* vals, std::size_t lo, std::size_t hi,
+                              InsertScratch& sc) {
+    if (isMarked(nodeVer)) return StageStatus::kRetry;
+    const K nodeKey = node->key;
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(keys + lo, keys + hi, nodeKey) - keys);
+    std::size_t rlo = mid;
+    if (rlo < hi && keys[rlo] == nodeKey) ++rlo;  // present: outcome stays false
+    bool childStaged = false;
+    if (lo < mid) {
+      const StageStatus s =
+          stageInsertChild(node->left, keys, vals, lo, mid, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (rlo < hi) {
+      const StageStatus s =
+          stageInsertChild(node->right, keys, vals, rlo, hi, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (childStaged) {
+      if (!stageBudgetLeft(*sc.dom)) return StageStatus::kOverflow;
+      addVer(node->ver, nodeVer, verBump(nodeVer));
+    }
+    return StageStatus::kOk;
+  }
+
+  StageStatus stageInsertChild(casword<Node*>& slot, const K* keys,
+                               const V* vals, std::size_t lo, std::size_t hi,
+                               InsertScratch& sc, bool& childStaged) {
+    Node* const child = slot.load();
+    if (child != nullptr) {
+      if (!stageBudgetLeft(*sc.dom)) return StageStatus::kOverflow;
+      const Version childVer = visit(child);
+      if (hi - lo == 1) return stageInsertOne(child, childVer, keys, vals, lo, sc);
+      return stageInsertNode(child, childVer, keys, vals, lo, hi, sc);
+    }
+    if (!stageBudgetLeft(*sc.dom, 2)) return StageStatus::kOverflow;
+    Node* const sub = buildSubtree(keys, vals, lo, hi);
+    sc.built.push_back(sub);
+    sc.staged.emplace_back(lo, hi);
+    add(slot, static_cast<Node*>(nullptr), sub);
+    childStaged = true;
+    return StageStatus::kOk;
+  }
+
+  /// Tight iterative descent once a partition has narrowed to one key — the
+  /// common case for every key below the batch's shared prefix. Matches
+  /// search()'s loop body: no partitioning, no recursion, one budget probe
+  /// per hop. The node whose null slot takes the link gets the one version
+  /// bump; it lies strictly inside this partition's subtree, which no other
+  /// partition touches, so no address is staged twice. Sc is InsertScratch
+  /// or MixedScratch (same field names).
+  template <typename Sc>
+  StageStatus stageInsertOne(Node* node, Version nodeVer, const K* keys,
+                             const V* vals, std::size_t i, Sc& sc) {
+    const K key = keys[i];
+    k::DefaultDomain& dom = *sc.dom;
+    for (;;) {
+      if (isMarked(nodeVer)) return StageStatus::kRetry;
+      const K nodeKey = node->key;
+      if (key == nodeKey) return StageStatus::kOk;  // present: outcome false
+      casword<Node*>& slot = key < nodeKey ? node->left : node->right;
+      Node* const child = slot.load();
+      if (child == nullptr) {
+        if (!stageBudgetLeft(dom, 2)) return StageStatus::kOverflow;
+        Node* const leaf = pool_.alloc(key, vals[i]);
+        sc.built.push_back(leaf);
+        sc.staged.emplace_back(i, i + 1);
+        add(slot, static_cast<Node*>(nullptr), leaf);
+        addVer(node->ver, nodeVer, verBump(nodeVer));
+        return StageStatus::kOk;
+      }
+      if (!stageBudgetLeft(dom)) return StageStatus::kOverflow;
+      prefetch(child->left);
+      prefetch(child->right);
+      nodeVer = visit(child);
+      node = child;
+    }
+  }
+
+  std::size_t insertRun(const K* keys, const V* vals, std::size_t n,
+                        bool* out) {
+    if (n == 0) return 0;
+    if (n == 1) {  // degraded to the per-op commit (k=1 fast path)
+      out[0] = insert(keys[0], vals[0]);
+      return out[0] ? 1u : 0u;
+    }
+    auto guard = ebr_.pin();
+    InsertScratch sc;
+    sc.dom = &domain();
+    for (int attempt = 0; attempt < kBatchRetries; ++attempt) {
+      start();
+      const Version rootVer = visit(minRoot_);
+      const StageStatus s =
+          stageInsertNode(minRoot_, rootVer, keys, vals, 0, n, sc);
+      if (s == StageStatus::kOverflow) {
+        discardInsertAttempt(sc);
+        break;  // deterministic: retrying the same width cannot help
+      }
+      if (s == StageStatus::kRetry) {
+        discardInsertAttempt(sc);
+        continue;
+      }
+      if (sc.staged.empty()) {
+        // Every key already present; same witness rule as insert().
+        if (opt_.reduceValidation || validate()) return 0;
+        continue;
+      }
+      if (vex()) {
+        std::size_t inserted = 0;
+        for (const auto& range : sc.staged) {
+          for (std::size_t i = range.first; i < range.second; ++i) {
+            out[i] = true;
+            ++inserted;
+          }
+        }
+        return inserted;
+      }
+      discardInsertAttempt(sc);
+    }
+    const std::size_t half = n / 2;  // split-and-retry
+    return insertRun(keys, vals, half, out) +
+           insertRun(keys + half, vals + half, n - half, out + half);
+  }
+
+  struct EraseScratch {
+    k::DefaultDomain* dom = nullptr;       // cached once per run (budget probes)
+    std::vector<Node*> unlink;             // staged-out nodes (retired on commit)
+    std::vector<std::size_t> stagedIdx;    // outcome indices of staged removals
+    std::vector<std::size_t> deferredIdx;  // per-op erase() after the commit
+  };
+
+  struct EraseFrame {
+    bool removed = false;
+    Node* repl = nullptr;  // what the parent should swing its slot to
+  };
+
+  /// Stage the removals of keys[lo..hi) under `node` (already visited at
+  /// nodeVer). Bottom-up: a removed child reports its replacement and the
+  /// parent stages the slot swing plus its own single version bump. A node
+  /// is only removed in-batch when it is a leaf or one-child node AND none
+  /// of its child slots were staged by this same batch (otherwise the swing
+  /// would race the staged edit — such removals are deferred to per-op
+  /// erase()). Keys partitioned into a null child are absent, witnessed by
+  /// the commit's validation of the whole visited path.
+  StageStatus stageEraseNode(Node* node, Version nodeVer, const K* keys,
+                             std::size_t lo, std::size_t hi, EraseScratch& sc,
+                             EraseFrame& fr) {
+    if (isMarked(nodeVer)) return StageStatus::kRetry;
+    const K nodeKey = node->key;
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(keys + lo, keys + hi, nodeKey) - keys);
+    const bool matched = mid < hi && keys[mid] == nodeKey;
+    const std::size_t rlo = matched ? mid + 1 : mid;
+    // Load only the child slots this node actually needs (both for a
+    // matched node — leaf test and replacement — one for a pass-through):
+    // the DFS touches many pass-through nodes and a second slot load per
+    // node is a second cache miss per hop.
+    Node* const left = (matched || lo < mid) ? node->left.load() : nullptr;
+    Node* const right = (matched || rlo < hi) ? node->right.load() : nullptr;
+    bool childStaged = false;
+    if (lo < mid && left != nullptr) {
+      const StageStatus s = stageEraseEdge(node->left, left, keys, lo, mid,
+                                           sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (rlo < hi && right != nullptr) {
+      const StageStatus s = stageEraseEdge(node->right, right, keys, rlo, hi,
+                                           sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (matched) {
+      if (childStaged || (left != nullptr && right != nullptr)) {
+        sc.deferredIdx.push_back(mid);
+      } else {
+        if (!stageBudgetLeft(*sc.dom, 2)) return StageStatus::kOverflow;
+        // Leaf / one-child: mark node; the parent frame swings its slot and
+        // bumps its own version. Matches the per-op entry set exactly.
+        addVer(node->ver, nodeVer, verMark(nodeVer));
+        fr.removed = true;
+        fr.repl = (left != nullptr) ? left : right;
+        sc.unlink.push_back(node);
+        sc.stagedIdx.push_back(mid);
+        return StageStatus::kOk;
+      }
+    }
+    if (childStaged) {
+      if (!stageBudgetLeft(*sc.dom)) return StageStatus::kOverflow;
+      addVer(node->ver, nodeVer, verBump(nodeVer));
+    }
+    return StageStatus::kOk;
+  }
+
+  StageStatus stageEraseEdge(casword<Node*>& slot, Node* child, const K* keys,
+                             std::size_t lo, std::size_t hi, EraseScratch& sc,
+                             bool& childStaged) {
+    if (!stageBudgetLeft(*sc.dom, 2)) return StageStatus::kOverflow;
+    const Version childVer = visit(child);
+    EraseFrame cf;
+    const StageStatus s = (hi - lo == 1)
+        ? stageEraseOne(child, childVer, keys, lo, sc, cf)
+        : stageEraseNode(child, childVer, keys, lo, hi, sc, cf);
+    if (s != StageStatus::kOk) return s;
+    if (cf.removed) {
+      add(slot, child, cf.repl);
+      childStaged = true;
+    }
+    return StageStatus::kOk;
+  }
+
+  /// Iterative singleton descent for erase, tracking (parent, parentVer)
+  /// like the per-op search. A match below the partition root stages the
+  /// full per-op entry set — mark, slot swing, parent bump — directly: the
+  /// parent lies inside this partition's subtree, which no other partition
+  /// touches. A match AT the partition root reports through `fr` instead,
+  /// because the caller's node owns that swing and may merge it with a bump
+  /// for its other partition (the usual bottom-up rule). Sc is EraseScratch
+  /// or MixedScratch (same field names).
+  template <typename Sc>
+  StageStatus stageEraseOne(Node* node, Version nodeVer, const K* keys,
+                            std::size_t i, Sc& sc, EraseFrame& fr) {
+    const K key = keys[i];
+    k::DefaultDomain& dom = *sc.dom;
+    Node* parent = nullptr;
+    Version parentVer = 0;
+    casword<Node*>* slot = nullptr;  // parent's slot holding `node`
+    for (;;) {
+      if (isMarked(nodeVer)) return StageStatus::kRetry;
+      const K nodeKey = node->key;
+      if (key == nodeKey) {
+        Node* const left = node->left.load();
+        Node* const right = node->right.load();
+        if (left != nullptr && right != nullptr)
+          return stageEraseTwoChild(node, nodeVer, right, key, i, sc);
+        Node* const repl = left != nullptr ? left : right;
+        if (parent == nullptr) {
+          if (!stageBudgetLeft(dom, 2)) return StageStatus::kOverflow;
+          addVer(node->ver, nodeVer, verMark(nodeVer));
+          fr.removed = true;
+          fr.repl = repl;
+        } else {
+          if (!stageBudgetLeft(dom, 3)) return StageStatus::kOverflow;
+          addVer(node->ver, nodeVer, verMark(nodeVer));
+          add(*slot, node, repl);
+          addVer(parent->ver, parentVer, verBump(parentVer));
+        }
+        sc.unlink.push_back(node);
+        sc.stagedIdx.push_back(i);
+        return StageStatus::kOk;
+      }
+      casword<Node*>& next = key < nodeKey ? node->left : node->right;
+      Node* const child = next.load();
+      if (child == nullptr) return StageStatus::kOk;  // absent: path witness
+      if (!stageBudgetLeft(dom)) return StageStatus::kOverflow;
+      prefetch(child->left);
+      prefetch(child->right);
+      parent = node;
+      parentVer = nodeVer;
+      slot = &next;
+      nodeVer = visit(child);
+      node = child;
+    }
+  }
+
+  /// Stage a two-child removal in-batch: the per-op successor swap (erase(),
+  /// Algorithm 6), entry for entry. Only reachable from the singleton
+  /// descent, where the successor — the leftmost node of node's right
+  /// subtree — lies strictly inside this partition's private subtree, so
+  /// none of its words can already be staged by another partition. The
+  /// general DFS still defers its two-child matches to per-op erase(): there
+  /// a sibling key may have staged a slot on the successor path.
+  template <typename Sc>
+  StageStatus stageEraseTwoChild(Node* node, Version nodeVer, Node* right,
+                                 K key, std::size_t i, Sc& sc) {
+    k::DefaultDomain& dom = *sc.dom;
+    Node* succP = node;
+    Version succPVer = nodeVer;
+    if (!stageBudgetLeft(dom)) return StageStatus::kOverflow;
+    Node* succ = right;
+    Version succVer = visit(succ);
+    for (;;) {
+      if (isMarked(succVer)) return StageStatus::kRetry;
+      Node* const nl = succ->left.load();
+      if (nl == nullptr) break;
+      if (!stageBudgetLeft(dom)) return StageStatus::kOverflow;
+      prefetch(nl->left);
+      succP = succ;
+      succPVer = succVer;
+      succVer = visit(nl);
+      succ = nl;
+    }
+    Node* const succR = succ->right.load();
+    if (succR != nullptr) {
+      if (!stageBudgetLeft(dom)) return StageStatus::kOverflow;
+      const Version succRVer = visit(succR);
+      if (isMarked(succRVer)) return StageStatus::kRetry;
+    }
+    if (!stageBudgetLeft(dom, 6)) return StageStatus::kOverflow;
+    auto& ptrToChange = (succP == node) ? node->right : succP->left;
+    add(ptrToChange, succ, succR);
+    const V currVal = node->val;
+    const V succVal = succ->val;
+    add(node->val, currVal, succVal);
+    add(node->key, key, succ->key.load());
+    addVer(succ->ver, succVer, verMark(succVer));
+    addVer(succP->ver, succPVer, verBump(succPVer));
+    if (succP != node) addVer(node->ver, nodeVer, verBump(nodeVer));
+    sc.unlink.push_back(succ);
+    sc.stagedIdx.push_back(i);
+    return StageStatus::kOk;
+  }
+
+  std::size_t eraseRun(const K* keys, std::size_t n, bool* out) {
+    if (n == 0) return 0;
+    if (n == 1) {  // degraded to the per-op commit
+      out[0] = erase(keys[0]);
+      return out[0] ? 1u : 0u;
+    }
+    auto guard = ebr_.pin();
+    EraseScratch sc;
+    sc.dom = &domain();
+    for (int attempt = 0; attempt < kBatchRetries; ++attempt) {
+      start();
+      sc.unlink.clear();
+      sc.stagedIdx.clear();
+      sc.deferredIdx.clear();
+      const Version rootVer = visit(minRoot_);
+      EraseFrame rootFrame;
+      const StageStatus s =
+          stageEraseNode(minRoot_, rootVer, keys, 0, n, sc, rootFrame);
+      if (s == StageStatus::kOverflow) break;
+      if (s == StageStatus::kRetry) continue;
+      PATHCAS_DCHECK(!rootFrame.removed);  // minRoot's key is a sentinel
+      if (sc.unlink.empty()) {
+        // Nothing staged: absent keys still need a validated traversal as
+        // their witness (same rule as erase()); deferred ones run per-op.
+        if (!validate()) continue;
+        return finishEraseRun(keys, out, sc);
+      }
+      if (vex()) {
+        for (Node* dead : sc.unlink) ebr_.retire(dead, pool_);
+        return finishEraseRun(keys, out, sc);
+      }
+    }
+    const std::size_t half = n / 2;  // split-and-retry
+    return eraseRun(keys, half, out) +
+           eraseRun(keys + half, n - half, out + half);
+  }
+
+  std::size_t finishEraseRun(const K* keys, bool* out, EraseScratch& sc) {
+    std::size_t erased = sc.stagedIdx.size();
+    for (std::size_t idx : sc.stagedIdx) out[idx] = true;
+    for (std::size_t idx : sc.deferredIdx) {
+      out[idx] = erase(keys[idx]);
+      if (out[idx]) ++erased;
+    }
+    return erased;
+  }
+
+  /// Scratch for a mixed run: the union of InsertScratch and EraseScratch
+  /// (field names match so the templated singleton helpers work on it),
+  /// plus compaction buffers for all-null-slot partitions that hold both op
+  /// kinds.
+  struct MixedScratch {
+    k::DefaultDomain* dom = nullptr;
+    std::vector<Node*> built;  // unpublished subtree roots (freed on abort)
+    std::vector<std::pair<std::size_t, std::size_t>> staged;  // insert ranges
+    std::vector<std::size_t> insIdx;  // insert outcomes from filtered builds
+    std::vector<Node*> unlink;             // staged-out nodes (retired on commit)
+    std::vector<std::size_t> stagedIdx;    // erase outcomes staged
+    std::vector<std::size_t> deferredIdx;  // per-op erase() after the commit
+    std::vector<K> kTmp;                   // insert-key compaction (null slots)
+    std::vector<V> vTmp;
+  };
+
+  void discardMixedAttempt(MixedScratch& sc) {
+    for (Node* n : sc.built) freeSubtree(n);
+    sc.built.clear();
+    sc.staged.clear();
+    sc.insIdx.clear();
+    sc.unlink.clear();
+    sc.stagedIdx.clear();
+    sc.deferredIdx.clear();
+  }
+
+  /// Mixed-run DFS: one partition walk stages inserts AND erases of
+  /// keys[lo..hi) under `node`. Same structure as the single-kind DFS's:
+  /// partition around node->key, recurse, bump a changed node once. An
+  /// erase match follows stageEraseNode's rules, upgraded to the in-batch
+  /// successor swap when its partition is a singleton (nothing else staged
+  /// in that subtree); an insert match is a present key (outcome false).
+  StageStatus stageMixedNode(Node* node, Version nodeVer, const K* keys,
+                             const V* vals, const bool* isIns, std::size_t lo,
+                             std::size_t hi, MixedScratch& sc,
+                             EraseFrame& fr) {
+    if (isMarked(nodeVer)) return StageStatus::kRetry;
+    const K nodeKey = node->key;
+    const std::size_t mid = static_cast<std::size_t>(
+        std::lower_bound(keys + lo, keys + hi, nodeKey) - keys);
+    const bool matched = mid < hi && keys[mid] == nodeKey;
+    const std::size_t rlo = matched ? mid + 1 : mid;
+    const bool eraseMatch = matched && !isIns[mid];
+    // Lazy child loads, as in stageEraseNode: one cache miss per
+    // pass-through hop, both slots only when an erase match needs them.
+    Node* const left = (eraseMatch || lo < mid) ? node->left.load() : nullptr;
+    Node* const right = (eraseMatch || rlo < hi) ? node->right.load() : nullptr;
+    bool childStaged = false;
+    if (lo < mid) {
+      const StageStatus s = stageMixedChild(node->left, left, keys, vals,
+                                            isIns, lo, mid, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (rlo < hi) {
+      const StageStatus s = stageMixedChild(node->right, right, keys, vals,
+                                            isIns, rlo, hi, sc, childStaged);
+      if (s != StageStatus::kOk) return s;
+    }
+    if (eraseMatch) {
+      if (childStaged || (left != nullptr && right != nullptr)) {
+        if (!childStaged && lo == mid && rlo == hi)
+          return stageEraseTwoChild(node, nodeVer, right, nodeKey, mid, sc);
+        sc.deferredIdx.push_back(mid);
+      } else {
+        if (!stageBudgetLeft(*sc.dom, 2)) return StageStatus::kOverflow;
+        addVer(node->ver, nodeVer, verMark(nodeVer));
+        fr.removed = true;
+        fr.repl = (left != nullptr) ? left : right;
+        sc.unlink.push_back(node);
+        sc.stagedIdx.push_back(mid);
+        return StageStatus::kOk;
+      }
+    }
+    if (childStaged) {
+      if (!stageBudgetLeft(*sc.dom)) return StageStatus::kOverflow;
+      addVer(node->ver, nodeVer, verBump(nodeVer));
+    }
+    return StageStatus::kOk;
+  }
+
+  StageStatus stageMixedChild(casword<Node*>& slot, Node* child, const K* keys,
+                              const V* vals, const bool* isIns, std::size_t lo,
+                              std::size_t hi, MixedScratch& sc,
+                              bool& childStaged) {
+    if (child != nullptr) {
+      if (!stageBudgetLeft(*sc.dom)) return StageStatus::kOverflow;
+      const Version childVer = visit(child);
+      EraseFrame cf;
+      StageStatus s;
+      if (hi - lo == 1) {
+        s = isIns[lo] ? stageInsertOne(child, childVer, keys, vals, lo, sc)
+                      : stageEraseOne(child, childVer, keys, lo, sc, cf);
+      } else {
+        s = stageMixedNode(child, childVer, keys, vals, isIns, lo, hi, sc, cf);
+      }
+      if (s != StageStatus::kOk) return s;
+      if (cf.removed) {
+        add(slot, child, cf.repl);
+        childStaged = true;
+      }
+      return StageStatus::kOk;
+    }
+    // Null slot: the partition's insert keys become one prebuilt subtree;
+    // its erase keys are absent, witnessed by the validated path.
+    sc.kTmp.clear();
+    sc.vTmp.clear();
+    for (std::size_t j = lo; j < hi; ++j) {
+      if (isIns[j]) {
+        sc.kTmp.push_back(keys[j]);
+        sc.vTmp.push_back(vals[j]);
+        sc.insIdx.push_back(j);
+      }
+    }
+    if (sc.kTmp.empty()) return StageStatus::kOk;
+    if (!stageBudgetLeft(*sc.dom, 2)) return StageStatus::kOverflow;
+    Node* const sub = buildSubtree(sc.kTmp.data(), sc.vTmp.data(), 0,
+                                   sc.kTmp.size());
+    sc.built.push_back(sub);
+    add(slot, static_cast<Node*>(nullptr), sub);
+    childStaged = true;
+    return StageStatus::kOk;
+  }
+
+  std::size_t updateRun(const K* keys, const V* vals, const bool* isIns,
+                        std::size_t n, bool* out) {
+    if (n == 0) return 0;
+    if (n == 1) {  // degraded to the per-op commit (k=1 fast path)
+      out[0] = isIns[0] ? insert(keys[0], vals[0]) : erase(keys[0]);
+      return out[0] ? 1u : 0u;
+    }
+    auto guard = ebr_.pin();
+    MixedScratch sc;
+    sc.dom = &domain();
+    for (int attempt = 0; attempt < kBatchRetries; ++attempt) {
+      start();
+      const Version rootVer = visit(minRoot_);
+      EraseFrame rootFrame;
+      const StageStatus s =
+          stageMixedNode(minRoot_, rootVer, keys, vals, isIns, 0, n, sc,
+                         rootFrame);
+      if (s == StageStatus::kOverflow) {
+        discardMixedAttempt(sc);
+        break;  // deterministic: retrying the same width cannot help
+      }
+      if (s == StageStatus::kRetry) {
+        discardMixedAttempt(sc);
+        continue;
+      }
+      PATHCAS_DCHECK(!rootFrame.removed);  // minRoot's key is a sentinel
+      if (sc.built.empty() && sc.unlink.empty()) {
+        // Nothing staged: absent erases still need the validated traversal
+        // as their witness (same rule as erase()); present inserts inherit
+        // it for free, deferred removals run per-op below.
+        if (!validate()) {
+          discardMixedAttempt(sc);
+          continue;
+        }
+        return finishMixedRun(keys, out, sc);
+      }
+      if (vex()) {
+        for (Node* dead : sc.unlink) ebr_.retire(dead, pool_);
+        return finishMixedRun(keys, out, sc);
+      }
+      discardMixedAttempt(sc);
+    }
+    const std::size_t half = n / 2;  // split-and-retry
+    return updateRun(keys, vals, isIns, half, out) +
+           updateRun(keys + half, vals + half, isIns + half, n - half,
+                     out + half);
+  }
+
+  std::size_t finishMixedRun(const K* keys, bool* out, MixedScratch& sc) {
+    std::size_t applied = 0;
+    for (const auto& range : sc.staged) {
+      for (std::size_t i = range.first; i < range.second; ++i) {
+        out[i] = true;
+        ++applied;
+      }
+    }
+    for (std::size_t idx : sc.insIdx) {
+      out[idx] = true;
+      ++applied;
+    }
+    for (std::size_t idx : sc.stagedIdx) {
+      out[idx] = true;
+      ++applied;
+    }
+    for (std::size_t idx : sc.deferredIdx) {
+      out[idx] = erase(keys[idx]);
+      if (out[idx]) ++applied;
+    }
+    return applied;
   }
 
   bool vex() { return opt_.useHtmFastPath ? vexecFast() : vexec(); }
