@@ -1,4 +1,4 @@
-// Appendix figures 26/27: factor analysis — throughput, cycles/op, page
+// Appendix figures 26/27: factor analysis — throughput, ns/op, page
 // faults/op and average key depth for the unbalanced and balanced trees at
 // {1%, 10%, 100%} updates. Hardware cache-miss counters are substituted by
 // the structural drivers (avg key depth, footprint) per the deviations
@@ -28,9 +28,8 @@ void analyze(const TrialConfig& cfg, double updates) {
   const long pf0 = pageFaults();
   const TrialResult r = runTrial(*set, cfg, prefillSum);
   const long pf1 = pageFaults();
-  std::printf("%-22s %6.0f%% %10.3f %12llu %12.6f %10.2f %10.2f\n",
-              Adapter::name().c_str(), updates, r.mops,
-              static_cast<unsigned long long>(r.cyclesPerOp),
+  std::printf("%-22s %6.0f%% %10.3f %12.1f %12.6f %10.2f %10.2f\n",
+              Adapter::name().c_str(), updates, r.mops, r.nsPerOp,
               static_cast<double>(pf1 - pf0) /
                   static_cast<double>(r.totalOps ? r.totalOps : 1),
               set->avgKeyDepth(),
@@ -49,7 +48,7 @@ int main() {
       "\n== Appendix (Figs 26/27): factor analysis, 4 threads, dist=%s ==\n",
       probe.dist.label().c_str());
   std::printf("%-22s %7s %10s %12s %12s %10s %10s\n", "algorithm", "upd",
-              "Mops/s", "cycles/op", "faults/op", "avg depth", "mem MiB");
+              "Mops/s", "ns/op", "faults/op", "avg depth", "mem MiB");
   for (double updates : {1.0, 10.0, 100.0}) {
     TrialConfig cfg;
     cfg.threads = 4;

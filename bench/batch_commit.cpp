@@ -41,25 +41,24 @@ using namespace pathcas::testing;
 namespace {
 
 /// batch_commit's CSV schema: identification (incl. batch width and combine
-/// window — the two axes under attribution) + throughput.
+/// window — the two axes under attribution) + throughput, both submitted
+/// and applied. Under window netting, submitted mops counts annihilated ops
+/// that never executed; the attribution ratios below use applied mops so a
+/// wider window cannot claim credit for work it skipped.
 void printBatchCsv(const std::string& experiment, const std::string& algo,
                    const TrialConfig& cfg, const TrialResult& r) {
-  std::printf("csv,%s,%s,%d,%d,%d,%d,%lld,%s,%s,%.3f,%llu,%llu\n",
+  std::printf("csv,%s,%s,%d,%d,%d,%d,%lld,%s,%s,%.3f,%.3f,%llu,%llu,%.1f\n",
               experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards,
               cfg.batch, cfg.combineWindow,
               static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
-              cfg.mix.c_str(), r.mops,
+              cfg.mix.c_str(), r.mops, r.mopsApplied,
               static_cast<unsigned long long>(r.totalOps),
-              static_cast<unsigned long long>(r.cyclesPerOp));
+              static_cast<unsigned long long>(r.opsApplied), r.nsPerOp);
 }
 
-/// Peak Mops across the thread sweep (empty sweep -> 0).
-double peak(const std::vector<double>& mops) {
-  return mops.empty() ? 0.0 : *std::max_element(mops.begin(), mops.end());
-}
-
-/// Cell 1: wide-descriptor attribution. Per-tree Mops keyed by batch width;
-/// batch=1 is the per-op baseline the speedups are quoted against.
+/// Cell 1: wide-descriptor attribution. Per-tree peak *applied* Mops keyed
+/// by batch width; batch=1 is the per-op baseline the speedups are quoted
+/// against (at batch=1 applied == submitted).
 template <typename Adapter>
 void sweepBatch(const std::vector<int>& threads,
                 const std::vector<int>& batches, const TrialConfig& base,
@@ -68,15 +67,21 @@ void sweepBatch(const std::vector<int>& threads,
     TrialConfig cfg = base;
     cfg.batch = b;
     std::printf("%-22s  (batch %d)\n", (Adapter::name() + ":").c_str(), b);
-    const auto mops =
-        sweepThreads<Adapter>("batch_commit", threads, cfg, printBatchCsv);
-    (*peaks)[b] = peak(mops);
+    double cellPeak = 0.0;
+    sweepThreads<Adapter>(
+        "batch_commit", threads, cfg,
+        [&cellPeak](const std::string& experiment, const std::string& algo,
+                    const TrialConfig& c, const TrialResult& r) {
+          printBatchCsv(experiment, algo, c, r);
+          cellPeak = std::max(cellPeak, r.mopsApplied);
+        });
+    (*peaks)[b] = cellPeak;
   }
 }
 
 /// Cell 2: combining attribution. Window 1 = direct per-op commits (the
-/// combiner path disabled); window 32 = flat combining. Mops keyed by
-/// (shards, window).
+/// combiner path disabled); window 32 = flat combining. Applied Mops keyed
+/// by (shards, window).
 template <typename Adapter>
 void sweepCombine(const std::vector<int>& threads, const TrialConfig& base,
                   std::map<std::pair<int, int>, double>* peaks) {
@@ -87,9 +92,15 @@ void sweepCombine(const std::vector<int>& threads, const TrialConfig& base,
       cfg.combineWindow = window;
       std::printf("%-22s  (shards %d, window %d)\n",
                   (Adapter::name() + ":").c_str(), nshards, window);
-      const auto mops =
-          sweepThreads<Adapter>("batch_commit", threads, cfg, printBatchCsv);
-      (*peaks)[{nshards, window}] = peak(mops);
+      double cellPeak = 0.0;
+      sweepThreads<Adapter>(
+          "batch_commit", threads, cfg,
+          [&cellPeak](const std::string& experiment, const std::string& algo,
+                      const TrialConfig& c, const TrialResult& r) {
+            printBatchCsv(experiment, algo, c, r);
+            cellPeak = std::max(cellPeak, r.mopsApplied);
+          });
+      (*peaks)[{nshards, window}] = cellPeak;
     }
   }
 }
@@ -126,11 +137,15 @@ double stagingMicro(const char* algo) {
   cfg.batch = 8;
   TrialResult r{};
   r.totalOps = n;
+  r.opsApplied = n;  // the micro submits no window, so every op executes
   r.minThreadOps = n;
   r.maxThreadOps = n;
   r.elapsedSec = sec;
   r.mops = sec > 0.0 ? static_cast<double>(n) / sec / 1e6 : 0.0;
-  r.cyclesPerOp = n > 0 ? (c1 - c0) / n : 0;
+  r.mopsApplied = r.mops;
+  r.cyclesPerOp =
+      n > 0 ? static_cast<double>(c1 - c0) / static_cast<double>(n) : 0.0;
+  r.nsPerOp = n > 0 ? TscCal::toNs(c1 - c0) / static_cast<double>(n) : 0.0;
   r.keysumOk = true;
   printBatchCsv("batch_commit", algo, cfg, r);
   jsonAppendTrial("batch_commit", algo, cfg, r);
@@ -173,7 +188,9 @@ int main() {
   const double shiftMops = stagingMicro<false>("kcas-stage-shift");
 
   // Attribution summary: the ratios the acceptance bar and CI read.
-  std::printf("\n== attribution (peak Mops over the thread sweep) ==\n");
+  std::printf(
+      "\n== attribution (peak APPLIED Mops over the thread sweep — "
+      "netted-away ops earn no credit) ==\n");
   struct TreeRow {
     const char* name;
     const std::map<int, double>* peaks;

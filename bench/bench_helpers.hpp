@@ -18,6 +18,12 @@
 //   PATHCAS_BENCH_BATCH    comma-separated update-batch widths for benches
 //                          with a batch axis (default "1,8,64,256,1024";
 //                          1 = per-op k=1 fast-path baseline)
+//   PATHCAS_BENCH_LATENCY  "1"/"on" records per-op latency histograms and
+//                          reports p50/p99/p999/max ns per category
+//                          (driver.hpp, bench_fw/latency.hpp)
+//   PATHCAS_BENCH_ARRIVAL  arrival process: "closed" (default) or
+//                          "poisson:<opsPerSec>" open loop, where latency
+//                          runs from each op's scheduled arrival
 //   PATHCAS_BENCH_JSON     JSON Lines sink, one object per trial
 #pragma once
 
@@ -120,18 +126,24 @@ using CsvPrinter = std::function<void(
     const TrialConfig& cfg, const TrialResult& r)>;
 
 /// The default `csv,<experiment>,...` schema shared by the figure benches;
-/// trailing dist/mix/batch columns keep CSV rows self-describing under the
-/// PATHCAS_BENCH_DIST / PATHCAS_BENCH_MIX / PATHCAS_BENCH_BATCH overrides.
+/// trailing dist/mix/batch/arrival columns keep CSV rows self-describing
+/// under the PATHCAS_BENCH_DIST / _MIX / _BATCH / _ARRIVAL overrides, and
+/// the latency columns (p50/p99/p999 ns over all op categories, sched p99)
+/// are zero unless PATHCAS_BENCH_LATENCY enabled recording.
 inline void printStandardCsv(const std::string& experiment,
                              const std::string& algo, const TrialConfig& cfg,
                              const TrialResult& r) {
-  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu,%s,%s,%d\n",
+  std::printf("csv,%s,%s,%d,%lld,%.0f,%.3f,%llu,%llu,%.1f,%s,%s,%d,%s,"
+              "%.0f,%.0f,%.0f,%.0f\n",
               experiment.c_str(), algo.c_str(), cfg.threads,
               static_cast<long long>(cfg.keyRange),
               (cfg.insertFrac + cfg.deleteFrac) * 100.0, r.mops,
               static_cast<unsigned long long>(r.totalOps),
-              static_cast<unsigned long long>(r.cyclesPerOp),
-              cfg.dist.label().c_str(), cfg.mix.c_str(), cfg.batch);
+              static_cast<unsigned long long>(r.opsApplied), r.nsPerOp,
+              cfg.dist.label().c_str(), cfg.mix.c_str(), cfg.batch,
+              cfg.arrival.label().c_str(), r.lat.overall.p50Ns,
+              r.lat.overall.p99Ns, r.lat.overall.p999Ns,
+              r.lat.of(OpCat::kSched).p99Ns);
 }
 
 /// Which environment workload knobs a sweep honours: benches whose mix is

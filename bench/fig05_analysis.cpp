@@ -3,7 +3,7 @@
 // argument: int-bst-pathcas executes MORE instructions per op yet FEWER
 // cycles and LLC misses, because the internal tree is shallower and smaller
 // than the external baselines. We reproduce the structural drivers (avg key
-// depth, footprint) plus rdtsc cycles/op.
+// depth, footprint) plus calibrated ns/op.
 #include <cstdio>
 
 #include "bench_helpers.hpp"
@@ -19,9 +19,8 @@ void analyze(const TrialConfig& cfg) {
   auto set = std::make_unique<Adapter>();
   const std::int64_t prefillSum = prefillHalf(*set, cfg.keyRange);
   const TrialResult r = runTrial(*set, cfg, prefillSum);
-  std::printf("%-22s %10.3f %12llu %10.2f %12.2f  %s %s\n",
-              Adapter::name().c_str(), r.mops,
-              static_cast<unsigned long long>(r.cyclesPerOp),
+  std::printf("%-22s %10.3f %12.1f %10.2f %12.2f  %s %s\n",
+              Adapter::name().c_str(), r.mops, r.nsPerOp,
               set->avgKeyDepth(),
               static_cast<double>(set->footprintBytes()) / (1024.0 * 1024.0),
               cfg.dist.label().c_str(), cfg.mix.c_str());
@@ -46,7 +45,7 @@ int main() {
       cfg.threads, static_cast<long long>(cfg.keyRange),
       describeWorkload(cfg).c_str());
   std::printf("%-22s %10s %12s %10s %12s  %s\n", "algorithm", "Mops/s",
-              "cycles/op", "avg depth", "mem (MiB)", "dist mix");
+              "ns/op", "avg depth", "mem (MiB)", "dist mix");
   analyze<EllenAdapter>(cfg);
   analyze<TicketAdapter>(cfg);
   analyze<PathCasBstAdapter<false>>(cfg);

@@ -1,0 +1,147 @@
+// Tail-latency serving profile: closed loop vs open loop (Poisson arrivals)
+// over the main tree structures and the sharded frontend, with and without
+// driver-side update batching.
+//
+// Each (structure, batch) cell first runs a CLOSED-loop trial with latency
+// recording on; its measured throughput becomes the cell's capacity estimate.
+// The cell then replays OPEN-loop trials at arrival rates derived from that
+// capacity — 0.5x (uncontended), 0.9x (near saturation) and 1.1x (over
+// saturation) — so the sweep lands on the interesting part of the latency
+// curve regardless of what this machine's absolute throughput is. Per the
+// coordinated-omission argument (bench_fw/latency.hpp), the closed-loop p99
+// stays flat while the open-loop p99 blows up as the rate approaches
+// capacity: closed-loop clients politely stop submitting when the structure
+// stalls, open-loop clients keep the schedule and measure the backlog.
+//
+// Recording runs unsampled here (latSampleShift = 0): this bench reports
+// latency, not throughput, so per-op rdtsc fidelity is worth its cost.
+//
+// Knobs: PATHCAS_BENCH_THREADS (the LAST count is used as the serving thread
+// count — no thread sweep; the arrival sweep is the axis), PATHCAS_BENCH_DIST
+// / _MIX as usual, PATHCAS_BENCH_BATCH for the batch axis (default "1,64").
+// PATHCAS_BENCH_LATENCY and _ARRIVAL are ignored: both are this experiment's
+// own axes.
+//
+// CSV schema (one row per cell):
+//   csv,latency_profile,<algo>,<threads>,<batch>,<arrival>,<mops>,
+//   <mops_applied>,<p50_ns>,<p99_ns>,<p999_ns>,<max_ns>,<sched_p99_ns>
+// JSON rows (PATHCAS_BENCH_JSON) carry the full per-category breakdown.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_helpers.hpp"
+
+using namespace pathcas;
+using namespace pathcas::bench;
+using namespace pathcas::testing;
+
+namespace {
+
+void printLatCsv(const std::string& algo, const TrialConfig& cfg,
+                 const TrialResult& r) {
+  std::printf("csv,latency_profile,%s,%d,%d,%s,%.3f,%.3f,%.0f,%.0f,%.0f,"
+              "%.0f,%.0f\n",
+              algo.c_str(), cfg.threads, cfg.batch,
+              cfg.arrival.label().c_str(), r.mops, r.mopsApplied,
+              r.lat.overall.p50Ns, r.lat.overall.p99Ns, r.lat.overall.p999Ns,
+              r.lat.overall.maxNs, r.lat.of(OpCat::kSched).p99Ns);
+}
+
+void printCatRows(const TrialResult& r) {
+  for (int c = 0; c < kNumOpCats; ++c) {
+    const LatencySummary::Cat& cat = r.lat.cat[c];
+    if (cat.count == 0) continue;
+    std::printf("      %-7s n=%-9llu p50=%-9.0f p99=%-9.0f p999=%-9.0f "
+                "max=%.0f ns\n",
+                kOpCatNames[c], static_cast<unsigned long long>(cat.count),
+                cat.p50Ns, cat.p99Ns, cat.p999Ns, cat.maxNs);
+  }
+}
+
+template <typename Adapter>
+TrialResult runLatCell(const TrialConfig& cfg) {
+  const TrialResult r = runCell(
+      [&cfg] {
+        if constexpr (std::is_constructible_v<Adapter, const TrialConfig&>) {
+          return std::make_unique<Adapter>(cfg);
+        } else {
+          return std::make_unique<Adapter>();
+        }
+      },
+      cfg);
+  std::printf("    %-18s %6.3f Mops  p50 %8.0f  p99 %8.0f  p999 %8.0f ns\n",
+              cfg.arrival.label().c_str(), r.mops, r.lat.overall.p50Ns,
+              r.lat.overall.p99Ns, r.lat.overall.p999Ns);
+  printCatRows(r);
+  printLatCsv(Adapter::name(), cfg, r);
+  jsonAppendTrial("latency_profile", Adapter::name(), cfg, r);
+  recl::EbrDomain::instance().drainAll();
+  return r;
+}
+
+/// One (structure, batch) cell: closed-loop capacity probe, then the open
+/// sweep at {0.5, 0.9, 1.1}x that capacity.
+template <typename Adapter>
+void profileCell(TrialConfig cfg) {
+  std::printf("  %s  (batch %d)\n", Adapter::name().c_str(), cfg.batch);
+  cfg.arrival = ArrivalSpec{};  // closed capacity probe
+  const TrialResult closed = runLatCell<Adapter>(cfg);
+  const double capacity = closed.mops * 1e6;  // submitted ops/sec
+  if (capacity <= 0.0) return;
+  for (double f : {0.5, 0.9, 1.1}) {
+    TrialConfig oc = cfg;
+    oc.arrival.open = true;
+    // Round to whole ops/sec: the capacity estimate carries no sub-op/sec
+    // information and integral rates keep the arrival labels readable.
+    oc.arrival.ratePerSec = std::max(1.0, std::round(capacity * f));
+    runLatCell<Adapter>(oc);
+  }
+}
+
+template <typename Adapter>
+void profileStructure(const TrialConfig& base,
+                      const std::vector<int>& batches) {
+  for (int b : batches) {
+    // A batch axis only exists on structures with group commits; a batch>1
+    // cell on anything else silently degenerates to per-op and would just
+    // duplicate the batch=1 rows.
+    if (b > 1 && !HasBatchOps<Adapter>) continue;
+    TrialConfig cfg = base;
+    cfg.batch = b;
+    profileCell<Adapter>(cfg);
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto threadList = defaultThreads();
+  const int threads = threadList.back();
+
+  TrialConfig base;
+  base.threads = threads;
+  base.keyRange = 1 << 16;
+  base.durationMs = scaledDurationMs(150, 2000);
+  base.latency = true;
+  base.latSampleShift = 0;  // unsampled: latency fidelity over throughput
+  base = withUpdates(base, 20.0);
+  applyEnvDist(base);
+  applyEnvMix(base);
+
+  std::vector<int> batches = {1, 64};
+  if (std::getenv("PATHCAS_BENCH_BATCH") != nullptr)
+    batches = defaultBatches();
+
+  std::printf("Latency profile: %s, %d serving threads, keyrange %lld\n",
+              describeWorkload(base).c_str(), threads,
+              static_cast<long long>(base.keyRange));
+  std::printf("csv schema: csv,latency_profile,algo,threads,batch,arrival,"
+              "mops,mops_applied,p50_ns,p99_ns,p999_ns,max_ns,sched_p99_ns\n");
+
+  profileStructure<PathCasBstAdapter<false>>(base, batches);
+  profileStructure<PathCasAvlAdapter<false>>(base, batches);
+  profileStructure<ShardedBstAdapter<>>(base, batches);
+  return 0;
+}

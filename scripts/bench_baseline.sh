@@ -9,9 +9,11 @@
 #
 # The gate (scripts/bench_compare.py --threshold-pct 15) joins rows on the
 # full workload identity — experiment, algo, threads, shards, batch,
-# combine_window, key_range, dist, mix, update_pct, rq_pct, rq_size — so
-# the baseline must come from these configs verbatim; a drifted config
-# shows up as unmatched rows, not a bogus pass.
+# combine_window, key_range, dist, mix, arrival, update_pct, rq_pct,
+# rq_size — so the baseline must come from these configs verbatim; a drifted
+# config shows up as unmatched rows, not a bogus pass. Latency recording is
+# on (PATHCAS_BENCH_LATENCY=1) so the rows carry p50/p99/p999 columns and
+# the gate covers p99 latency alongside throughput.
 set -euo pipefail
 
 build_dir="${1:-build}"
@@ -30,12 +32,14 @@ PATHCAS_BENCH_THREADS=2 \
 PATHCAS_BENCH_DIST=zipfian:0.99 \
 PATHCAS_BENCH_MIX=ycsb-b \
 PATHCAS_BENCH_SHARDS=1,4 \
+PATHCAS_BENCH_LATENCY=1 \
 PATHCAS_BENCH_JSON="$out" \
   "$build_dir/bench/skew_sweep" >/dev/null
 
 PATHCAS_BENCH_THREADS=2 \
 PATHCAS_BENCH_BATCH=1,8 \
 PATHCAS_BENCH_SHARDS=1,4 \
+PATHCAS_BENCH_LATENCY=1 \
 PATHCAS_BENCH_JSON="$out" \
   "$build_dir/bench/batch_commit" >/dev/null
 

@@ -1,24 +1,31 @@
 #!/usr/bin/env python3
-"""Diff two PATHCAS_BENCH_JSON files and flag throughput regressions.
+"""Diff two PATHCAS_BENCH_JSON files and flag throughput/latency regressions.
 
 Every bench driver appends one JSON object per trial when PATHCAS_BENCH_JSON
 is set (schema: docs/BENCHMARKING.md). This tool joins two such files on the
 trial identity — (experiment, algo, threads, shards, batch, combine_window,
-key_range, dist, mix, update_pct, rq_pct, rq_size); rows from files
-predating a field join on its default (shards=1, batch=1,
-combine_window=0) — averages duplicate rows (re-runs), and reports the
-per-cell `mops` delta. It exits nonzero when any cell regresses by more
-than --threshold-pct. The repo's CI runs it as a soft gate
-(--threshold-pct 15) against the committed BENCH_baseline.json, regenerated
-from the same pinned smoke configs by scripts/bench_baseline.sh: absolute
-throughput is machine-dependent, but the 15% margin on the pinned 2-thread
-smokes absorbs runner noise while still tripping on real commit-path
-regressions (docs/BENCHMARKING.md, "Comparing runs"). Re-baseline after any
-intentional perf change.
+key_range, dist, mix, arrival, update_pct, rq_pct, rq_size); rows from files
+predating a field join on its default (shards=1, batch=1, combine_window=0,
+arrival="closed") — averages duplicate rows (re-runs), and reports two
+per-cell deltas:
+
+  * `mops`  — fails when throughput DROPS by more than --threshold-pct;
+  * `p99_ns` — fails when the overall p99 op latency RISES by more than
+    --threshold-pct. Only gated where both files carry the field (trials run
+    with PATHCAS_BENCH_LATENCY=1), so baselines predating latency recording
+    keep working.
+
+The repo's CI runs it as a soft gate (--threshold-pct 15) against the
+committed BENCH_baseline.json, regenerated from the same pinned smoke
+configs by scripts/bench_baseline.sh: absolute throughput and latency are
+machine-dependent, but the 15% margin on the pinned 2-thread smokes absorbs
+runner noise while still tripping on real commit-path regressions
+(docs/BENCHMARKING.md, "Comparing runs"). Re-baseline after any intentional
+perf change.
 
 Usage:
   scripts/bench_compare.py BASELINE.json NEW.json [--threshold-pct 25]
-      [--min-mops 0.01]
+      [--min-mops 0.01] [--min-p99-ns 50]
 
 Exit codes: 0 ok, 1 regression past threshold, 2 usage/parse error.
 """
@@ -38,6 +45,7 @@ KEY_FIELDS = (
     "key_range",
     "dist",
     "mix",
+    "arrival",
     "update_pct",
     "rq_pct",
     "rq_size",
@@ -45,13 +53,20 @@ KEY_FIELDS = (
 
 # Fields absent from older bench files join on a default instead of erroring
 # (the committed baseline may predate them).
-DEFAULT_FIELDS = {"shards": 1, "batch": 1, "combine_window": 0}
+DEFAULT_FIELDS = {
+    "shards": 1,
+    "batch": 1,
+    "combine_window": 0,
+    "arrival": "closed",
+}
 
 
 def load(path):
-    """Return {trial-key: mean mops} for a JSON Lines bench file."""
-    sums = defaultdict(float)
-    counts = defaultdict(int)
+    """Return {trial-key: (mean mops, mean p99_ns or None)} for a bench file."""
+    mops_sums = defaultdict(float)
+    mops_counts = defaultdict(int)
+    p99_sums = defaultdict(float)
+    p99_counts = defaultdict(int)
     try:
         with open(path, "r", encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
@@ -73,12 +88,19 @@ def load(path):
                 except KeyError as e:
                     print(f"{path}:{lineno}: missing field {e}", file=sys.stderr)
                     sys.exit(2)
-                sums[key] += mops
-                counts[key] += 1
+                mops_sums[key] += mops
+                mops_counts[key] += 1
+                if "p99_ns" in row:
+                    p99_sums[key] += float(row["p99_ns"])
+                    p99_counts[key] += 1
     except OSError as e:
         print(f"cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
-    return {k: sums[k] / counts[k] for k in sums}
+    out = {}
+    for k in mops_sums:
+        p99 = p99_sums[k] / p99_counts[k] if p99_counts[k] else None
+        out[k] = (mops_sums[k] / mops_counts[k], p99)
+    return out
 
 
 def fmt_key(key):
@@ -86,7 +108,8 @@ def fmt_key(key):
     return (
         f"{d['experiment']}/{d['algo']} t={d['threads']} s={d['shards']} "
         f"b={d['batch']} cw={d['combine_window']} "
-        f"{d['dist']} {d['mix']} range={d['key_range']} u={d['update_pct']}%"
+        f"{d['dist']} {d['mix']} {d['arrival']} range={d['key_range']} "
+        f"u={d['update_pct']}%"
     )
 
 
@@ -98,8 +121,8 @@ def main():
         "--threshold-pct",
         type=float,
         default=25.0,
-        help="fail when any cell's mops drops by more than this percentage "
-        "(default: %(default)s)",
+        help="fail when any cell's mops drops — or its p99_ns rises — by "
+        "more than this percentage (default: %(default)s)",
     )
     ap.add_argument(
         "--min-mops",
@@ -107,6 +130,13 @@ def main():
         default=0.01,
         help="ignore cells whose baseline throughput is below this (too "
         "noisy to compare; default: %(default)s)",
+    )
+    ap.add_argument(
+        "--min-p99-ns",
+        type=float,
+        default=50.0,
+        help="skip the latency gate for cells whose baseline p99 is below "
+        "this many ns (sub-bucket noise; default: %(default)s)",
     )
     args = ap.parse_args()
 
@@ -124,22 +154,37 @@ def main():
     only_new = sorted(set(new) - set(base))
 
     regressions = []
-    print(f"{'delta%':>8}  {'base':>9}  {'new':>9}  trial")
+    print(f"{'mops%':>8} {'p99%':>8}  {'base':>9}  {'new':>9}  trial")
     for key in shared:
-        b, n = base[key], new[key]
+        (b, b_p99), (n, n_p99) = base[key], new[key]
         if b < args.min_mops:
             continue
         delta = (n - b) / b * 100.0
-        marker = ""
+        p99_delta = None
+        if (
+            b_p99 is not None
+            and n_p99 is not None
+            and b_p99 >= args.min_p99_ns
+        ):
+            p99_delta = (n_p99 - b_p99) / b_p99 * 100.0
+        why = []
         if delta < -args.threshold_pct:
-            marker = "  << REGRESSION"
-            regressions.append((key, b, n, delta))
-        print(f"{delta:+8.1f}  {b:9.3f}  {n:9.3f}  {fmt_key(key)}{marker}")
+            why.append(f"mops {delta:+.1f}%")
+        if p99_delta is not None and p99_delta > args.threshold_pct:
+            why.append(f"p99 {p99_delta:+.1f}%")
+        marker = "  << REGRESSION" if why else ""
+        if why:
+            regressions.append((key, ", ".join(why)))
+        p99_col = f"{p99_delta:+8.1f}" if p99_delta is not None else f"{'-':>8}"
+        print(f"{delta:+8.1f} {p99_col}  {b:9.3f}  {n:9.3f}  "
+              f"{fmt_key(key)}{marker}")
 
     for key in only_base:
-        print(f"    gone  {base[key]:9.3f}  {'-':>9}  {fmt_key(key)}")
+        print(f"    gone           {base[key][0]:9.3f}  {'-':>9}  "
+              f"{fmt_key(key)}")
     for key in only_new:
-        print(f"     new  {'-':>9}  {new[key]:9.3f}  {fmt_key(key)}")
+        print(f"     new           {'-':>9}  {new[key][0]:9.3f}  "
+              f"{fmt_key(key)}")
 
     if not shared:
         print("no overlapping trials between the two files", file=sys.stderr)
@@ -151,9 +196,8 @@ def main():
             f"{args.threshold_pct:.0f}%:",
             file=sys.stderr,
         )
-        for key, b, n, delta in regressions:
-            print(f"  {fmt_key(key)}: {b:.3f} -> {n:.3f} ({delta:+.1f}%)",
-                  file=sys.stderr)
+        for key, why in regressions:
+            print(f"  {fmt_key(key)}: {why}", file=sys.stderr)
         sys.exit(1)
     print(f"\nok: {len(shared)} cell(s) within {args.threshold_pct:.0f}%")
 

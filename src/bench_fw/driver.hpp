@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_fw/latency.hpp"
 #include "bench_fw/workload.hpp"
 #include "recl/ebr.hpp"
 #include "util/backoff.hpp"
@@ -75,13 +76,58 @@ struct TrialConfig {
   /// (service/sharded_map.hpp, Config::combineWindow) by adapters that are
   /// TrialConfig-constructible; <= 1 means combining off. Recorded in JSON.
   int combineWindow = 0;
+  /// Per-op latency recording (bench_fw/latency.hpp): when on, sampled op
+  /// durations land in a per-thread per-category tick histogram and the
+  /// trial reports p50/p99/p999/max in calibrated nanoseconds. Off by
+  /// default. PATHCAS_BENCH_LATENCY=1 turns it on everywhere
+  /// (applyEnvLatency).
+  bool latency = false;
+  /// Recording samples every 2^latSampleShift-th op per thread (default
+  /// 1-in-8): a sampled op pays two rdtsc reads, so on ~250ns ops full
+  /// recording costs >10% throughput while 1-in-8 stays under ~2%. Quantile
+  /// accuracy is unaffected in distribution (sampling is op-count-strided,
+  /// uncorrelated with op cost); per-category `count` fields then report
+  /// SAMPLES, not ops. Set 0 to record every op (latency_profile's
+  /// high-fidelity mode).
+  int latSampleShift = 3;
+  /// Arrival process (workload.hpp, ArrivalSpec): closed loop (default) or
+  /// open-loop Poisson arrivals at a fixed total rate, where latency is
+  /// measured from each op's *scheduled* arrival so coordinated omission
+  /// shows up as queueing delay instead of vanishing.
+  /// PATHCAS_BENCH_ARRIVAL carries the same grammar (applyEnvArrival).
+  ArrivalSpec arrival;
 };
 
 struct TrialResult {
-  double mops = 0.0;          // million operations per second (total)
+  double mops = 0.0;          // million *submitted* ops per second (total)
+  /// Ops submitted by the workers. Under window netting (batch > 1) a
+  /// buffered update that a later same-key update annihilates is still
+  /// submitted — the client issued and completed it — but never executes
+  /// against the structure. JSON `total_ops` keeps meaning submitted.
   std::uint64_t totalOps = 0;
-  std::uint64_t cyclesPerOp = 0;
+  /// Ops that actually executed against the structure: submitted minus
+  /// annihilated. Equal to totalOps when batch <= 1. The honest denominator
+  /// for per-op structure cost (batch_commit's attribution uses
+  /// mopsApplied, not mops).
+  std::uint64_t opsApplied = 0;
+  double mopsApplied = 0.0;   // million applied ops per second
+  /// Mean wall-nanoseconds per submitted op over the timed window, summed
+  /// across threads and calibrated via TscCal (tsc→ns). The portable per-op
+  /// cost number; in open-loop mode it includes arrival idle time.
+  double nsPerOp = 0.0;
+  /// Derived: raw rdtsc ticks per submitted op. Platform-dependent units
+  /// (TSC increments on x86, steady_clock ticks elsewhere) — kept for
+  /// continuity with the paper's cycle counts, but ns_per_op is primary.
+  double cyclesPerOp = 0.0;
+  /// The timed window, go→stop. Excludes worker join and the post-stop
+  /// batch drain (drainSec), which earlier versions folded in — skewing
+  /// mops and cycles/op with batch width.
   double elapsedSec = 0.0;
+  /// Post-stop wall time: outstanding batch-window drain + thread join.
+  /// Reported separately so wide windows can't inflate the timed window.
+  double drainSec = 0.0;
+  /// Per-category latency quantiles (valid iff TrialConfig::latency).
+  LatencySummary lat;
   bool keysumOk = false;
   std::uint64_t inserts = 0, deletes = 0, finds = 0;
   std::uint64_t rqs = 0;      // range queries completed
@@ -152,19 +198,69 @@ inline bool applyEnvMix(TrialConfig& cfg) {
   return true;
 }
 
-/// Both environment overrides, honoured by every bench that goes through
-/// sweepThreads (and applied explicitly by the benches that drive runTrial
-/// themselves). Benches whose mix IS the experiment's axis (fig06's
-/// update-vs-search columns) apply only applyEnvDist.
+/// PATHCAS_BENCH_LATENCY override: "1"/"on" enables per-op latency
+/// recording, "0"/"off" disables it. Returns true iff the knob was present
+/// and well-formed.
+inline bool applyEnvLatency(TrialConfig& cfg) {
+  const char* v = std::getenv("PATHCAS_BENCH_LATENCY");
+  if (v == nullptr || *v == '\0') return false;
+  const std::string s(v);
+  if (s == "1" || s == "on") {
+    cfg.latency = true;
+    return true;
+  }
+  if (s == "0" || s == "off") {
+    cfg.latency = false;
+    return true;
+  }
+  static bool warned = false;  // once per process, not per sweep cell
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "ignoring malformed PATHCAS_BENCH_LATENCY=\"%s\" "
+                 "(want 1/on or 0/off)\n",
+                 v);
+  }
+  return false;
+}
+
+/// PATHCAS_BENCH_ARRIVAL override (grammar: ArrivalSpec::parse — "closed"
+/// or "poisson:<opsPerSec>"). Returns true iff a well-formed spec was
+/// applied; malformed values warn on stderr and leave the config unchanged.
+inline bool applyEnvArrival(TrialConfig& cfg) {
+  const char* a = std::getenv("PATHCAS_BENCH_ARRIVAL");
+  if (a == nullptr || *a == '\0') return false;
+  if (!ArrivalSpec::parse(a, &cfg.arrival)) {
+    static bool warned = false;  // once per process, not per sweep cell
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "ignoring malformed PATHCAS_BENCH_ARRIVAL=\"%s\" (want "
+                   "closed | poisson:<opsPerSec>)\n",
+                   a);
+    }
+    return false;
+  }
+  return true;
+}
+
+/// All four environment overrides, honoured by every bench that goes
+/// through sweepThreads (and applied explicitly by the benches that drive
+/// runTrial themselves). Benches whose mix IS the experiment's axis
+/// (fig06's update-vs-search columns) apply only applyEnvDist.
 inline void applyEnvWorkload(TrialConfig& cfg) {
   applyEnvDist(cfg);
   applyEnvMix(cfg);
+  applyEnvLatency(cfg);
+  applyEnvArrival(cfg);
 }
 
 /// One-line workload description for bench headers, e.g.
-/// "dist=zipfian:0.99 mix=ycsb-b".
+/// "dist=zipfian:0.99 mix=ycsb-b arrival=poisson:500000".
 inline std::string describeWorkload(const TrialConfig& cfg) {
-  return "dist=" + cfg.dist.label() + " mix=" + cfg.mix;
+  std::string s = "dist=" + cfg.dist.label() + " mix=" + cfg.mix;
+  if (cfg.arrival.open) s += " arrival=" + cfg.arrival.label();
+  return s;
 }
 
 /// Structures that support the range-query mix (rqFrac > 0).
@@ -267,6 +363,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
                      std::int64_t prefillSum) {
   struct alignas(kNoFalseSharing) PerThread {
     std::uint64_t ops = 0, inserts = 0, deletes = 0, finds = 0;
+    std::uint64_t opsApplied = 0;
     std::uint64_t rqs = 0, rqKeys = 0;
     std::int64_t keysumDelta = 0;
     std::uint64_t cycles = 0;
@@ -275,7 +372,20 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
     PATHCAS_CHECK(cfg.rqFrac == 0.0 &&
                   "rqFrac > 0 requires a structure with rangeQuery()");
   }
+  if (cfg.arrival.open)
+    PATHCAS_CHECK(cfg.arrival.ratePerSec > 0.0 &&
+                  "open-loop arrival needs a positive rate");
+  // Force the one-time tsc→ns calibration (a ~20ms spin) before any worker
+  // exists, so it can never land inside a timed window. ns_per_op needs it
+  // unconditionally; open-loop arrival additionally needs ticks-per-ns to
+  // turn nanosecond gaps into rdtsc deadlines.
+  const double nsPerTick = TscCal::nsPerTick();
+  const double ticksPerNs = 1.0 / nsPerTick;
   std::vector<PerThread> stats(static_cast<std::size_t>(cfg.threads));
+  // Per-thread latency recorders live outside PerThread: each is tens of KB
+  // of histogram buckets, only allocated when recording is on.
+  std::vector<LatencyRecorder> recs(
+      cfg.latency ? static_cast<std::size_t>(cfg.threads) : 0);
   std::atomic<bool> go{false}, stop{false};
   std::atomic<int> ready{0};
 
@@ -324,6 +434,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       // Reads stay immediate.
       struct WinOp {
         std::int64_t key, val;
+        std::uint64_t t0;   // latency origin at submission (0: recording off)
         std::uint32_t seq;  // submission order: tiebreak so last-op-wins
         bool isInsert;
       };
@@ -341,7 +452,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
         outBuf = std::make_unique<bool[]>(batchW);
         insFlag = std::make_unique<bool[]>(batchW);
       }
-      auto flushBatches = [&] {
+      auto flushBatches = [&](LatencyRecorder* rec) {
         if constexpr (HasBatchOps<Set>) {
           if (winBuf.empty()) return;
           // std::sort with a (key, seq) compare: stable_sort's per-call
@@ -364,7 +475,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
               insVals.push_back(winBuf[i].val);
               insFlag[m++] = winBuf[i].isInsert;
             }
-            winBuf.clear();
+            my.opsApplied += m;  // survivors execute; annihilated ops do not
             set.updateBatch(insKeys.data(), insVals.data(), insFlag.get(), m,
                             outBuf.get());
             for (std::size_t i = 0; i < m; ++i) {
@@ -390,7 +501,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
                 erKeys.push_back(winBuf[i].key);
               }
             }
-            winBuf.clear();
+            my.opsApplied += erKeys.size() + insKeys.size();
             if (!erKeys.empty()) {
               set.eraseBatch(erKeys.data(), erKeys.size(), outBuf.get());
               for (std::size_t i = 0; i < erKeys.size(); ++i)
@@ -407,22 +518,85 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
               }
             }
           }
+          // Every op in the window — survivor or annihilated — completes at
+          // the flush; a sampled op's latency (t0 != 0) runs from its
+          // submission (closed loop) or scheduled arrival (open loop) to
+          // now, so window fill time is measured as the serving latency it
+          // really is. Unsampled ops carry t0 == 0 and are skipped.
+          if (rec != nullptr) {
+            const std::uint64_t tEnd = rdtsc();
+            for (const WinOp& op : winBuf)
+              if (op.t0 != 0)
+                rec->record(op.isInsert ? OpCat::kInsert : OpCat::kErase,
+                            tEnd - op.t0);
+          }
+          winBuf.clear();
+        } else {
+          (void)rec;
         }
       };
+
+      LatencyRecorder* rec =
+          cfg.latency ? &recs[static_cast<std::size_t>(t)] : nullptr;
+      const bool openLoop = cfg.arrival.open;
+      ArrivalGen arrivals(
+          openLoop ? cfg.arrival.ratePerSec / cfg.threads : 1.0, cfg.seed, t);
+
+      // Sampled recording: every 2^latSampleShift-th op (per thread) is
+      // timed; the rest run untouched. The stride counter is deterministic
+      // and uncorrelated with op kind or cost, so the sampled subset is an
+      // unbiased draw from the op stream.
+      const std::uint64_t sampleMask =
+          (1ULL << static_cast<unsigned>(std::max(cfg.latSampleShift, 0))) -
+          1;
+      std::uint64_t sampleCtr = 0;
 
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) cpuRelax();
       const std::uint64_t c0 = rdtsc();
+      // Open loop: the next scheduled arrival, in rdtsc ticks. Arrivals
+      // advance in VIRTUAL time, independent of service progress: a worker
+      // that falls behind keeps the (past) scheduled instants as latency
+      // origins, so backlog is measured as queueing delay — the
+      // coordinated-omission fix — instead of silently stretching the
+      // arrival schedule.
+      std::uint64_t nextArrival = c0;
       while (!stop.load(std::memory_order_relaxed)) {
         const std::int64_t k = keys.next();
         const std::uint64_t dice = rng.nextBounded(1000000000ULL);
+        const bool sampled =
+            rec != nullptr && (sampleCtr++ & sampleMask) == 0;
+        // Latency origin: the op's scheduled arrival in open loop (queueing
+        // included), the pre-op instant in closed loop.
+        std::uint64_t opStart = 0;
+        if (openLoop) {
+          nextArrival += static_cast<std::uint64_t>(arrivals.nextGapNs() *
+                                                    ticksPerNs);
+          std::uint64_t now = rdtsc();
+          while (now < nextArrival &&
+                 !stop.load(std::memory_order_relaxed)) {
+            cpuRelax();
+            now = rdtsc();
+          }
+          if (now < nextArrival) break;  // stopped while idle pre-arrival
+          if (sampled) {
+            rec->record(OpCat::kSched, now - nextArrival);
+            opStart = nextArrival;
+          }
+        } else if (sampled) {
+          opStart = rdtsc();
+        }
+        OpCat cat = OpCat::kFind;
+        bool buffered = false;
         if (dice < insertCut) {
-          bool buffered = false;
+          cat = OpCat::kInsert;
           if constexpr (HasBatchOps<Set>) {
             if (batching) {
-              winBuf.push_back({k, k, static_cast<std::uint32_t>(winBuf.size()), true});
+              winBuf.push_back({k, k, opStart,
+                                static_cast<std::uint32_t>(winBuf.size()),
+                                true});
               buffered = true;
-              if (winBuf.size() >= batchW) flushBatches();
+              if (winBuf.size() >= batchW) flushBatches(rec);
             }
           }
           if (!buffered && set.insert(k, k)) {
@@ -431,17 +605,20 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
           }
           ++my.inserts;
         } else if (dice < deleteCut) {
-          bool buffered = false;
+          cat = OpCat::kErase;
           if constexpr (HasBatchOps<Set>) {
             if (batching) {
-              winBuf.push_back({k, k, static_cast<std::uint32_t>(winBuf.size()), false});
+              winBuf.push_back({k, k, opStart,
+                                static_cast<std::uint32_t>(winBuf.size()),
+                                false});
               buffered = true;
-              if (winBuf.size() >= batchW) flushBatches();
+              if (winBuf.size() >= batchW) flushBatches(rec);
             }
           }
           if (!buffered && set.erase(k)) my.keysumDelta -= k;
           ++my.deletes;
         } else if (dice < rqCut) {
+          cat = OpCat::kRq;
           if constexpr (HasRangeQuery<Set>) {
             rqBuf.clear();
             my.rqKeys += static_cast<std::uint64_t>(
@@ -453,9 +630,16 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
           ++my.finds;
         }
         ++my.ops;
+        if (!buffered) ++my.opsApplied;
+        // Buffered submissions complete (and record) at their flush.
+        if (sampled && !buffered) rec->record(cat, rdtsc() - opStart);
       }
-      flushBatches();  // settle outstanding updates so keysum stays exact
+      // Stop the per-thread clock BEFORE the post-stop drain: my.cycles
+      // covers exactly the timed window, so ns/op and cycles/op no longer
+      // skew with batch width (the drain is reported separately as
+      // TrialResult::drainSec).
       my.cycles = rdtsc() - c0;
+      flushBatches(rec);  // settle outstanding updates so keysum stays exact
     });
   }
   while (ready.load() != cfg.threads) std::this_thread::yield();
@@ -463,8 +647,13 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   go.store(true, std::memory_order_release);
   std::this_thread::sleep_for(std::chrono::milliseconds(cfg.durationMs));
   stop.store(true, std::memory_order_release);
-  for (auto& w : workers) w.join();
+  // Read the timed window at stop, BEFORE joining: join waits for the
+  // workers' post-stop batch drains, and folding that into `elapsed` made
+  // mops skew with batch width. The drain + join tail is reported
+  // separately.
   const double elapsed = sw.elapsedSeconds();
+  for (auto& w : workers) w.join();
+  const double drain = sw.elapsedSeconds() - elapsed;
 
   TrialResult r;
   std::int64_t expected = prefillSum;
@@ -472,6 +661,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   r.minThreadOps = stats.empty() ? 0 : stats.front().ops;
   for (const auto& s : stats) {
     r.totalOps += s.ops;
+    r.opsApplied += s.opsApplied;
     r.inserts += s.inserts;
     r.deletes += s.deletes;
     r.finds += s.finds;
@@ -483,8 +673,17 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
     cycles += s.cycles;
   }
   r.elapsedSec = elapsed;
+  r.drainSec = drain;
   r.mops = static_cast<double>(r.totalOps) / elapsed / 1e6;
-  r.cyclesPerOp = r.totalOps ? cycles / r.totalOps : 0;
+  r.mopsApplied = static_cast<double>(r.opsApplied) / elapsed / 1e6;
+  r.nsPerOp = r.totalOps ? TscCal::toNs(cycles) /
+                               static_cast<double>(r.totalOps)
+                         : 0.0;
+  r.cyclesPerOp = r.totalOps ? static_cast<double>(cycles) /
+                                   static_cast<double>(r.totalOps)
+                             : 0.0;
+  if (cfg.latency)
+    r.lat = summarizeLatency(recs.data(), cfg.threads, nsPerTick);
   r.keysumOk = (set.keySum() == expected);
   PATHCAS_CHECK(r.keysumOk && "keysum validation failed — correctness bug");
   if constexpr (HasFootprint<Set>) r.footprintBytes = set.footprintBytes();
@@ -540,25 +739,50 @@ inline void jsonAppendTrial(const std::string& experiment,
       "{\"experiment\":\"%s\",\"algo\":\"%s\",\"threads\":%d,\"shards\":%d,"
       "\"batch\":%d,\"combine_window\":%d,"
       "\"key_range\":%lld,\"dist\":\"%s\",\"theta\":%g,\"mix\":\"%s\","
-      "\"update_pct\":%.1f,\"rq_pct\":%.1f,"
-      "\"rq_size\":%lld,\"mops\":%.4f,\"rq_mops\":%.4f,"
-      "\"total_ops\":%llu,\"ops_min_thread\":%llu,\"ops_max_thread\":%llu,"
+      "\"arrival\":\"%s\",\"update_pct\":%.1f,\"rq_pct\":%.1f,"
+      "\"rq_size\":%lld,\"mops\":%.4f,\"mops_applied\":%.4f,"
+      "\"rq_mops\":%.4f,"
+      "\"total_ops\":%llu,\"ops_applied\":%llu,"
+      "\"ops_min_thread\":%llu,\"ops_max_thread\":%llu,"
       "\"rqs\":%llu,\"rq_keys\":%llu,"
-      "\"cycles_per_op\":%llu,\"footprint_bytes\":%llu,"
-      "\"elapsed_sec\":%.4f,\"keysum_ok\":%s}\n",
+      "\"ns_per_op\":%.1f,\"cycles_per_op\":%.1f,\"footprint_bytes\":%llu,"
+      "\"elapsed_sec\":%.4f,\"drain_sec\":%.4f,\"keysum_ok\":%s",
       experiment.c_str(), algo.c_str(), cfg.threads, cfg.shards, cfg.batch,
-      cfg.combineWindow, static_cast<long long>(cfg.keyRange), cfg.dist.label().c_str(),
-      skewed ? cfg.dist.theta : 0.0, cfg.mix.c_str(),
+      cfg.combineWindow, static_cast<long long>(cfg.keyRange),
+      cfg.dist.label().c_str(), skewed ? cfg.dist.theta : 0.0,
+      cfg.mix.c_str(), cfg.arrival.label().c_str(),
       (cfg.insertFrac + cfg.deleteFrac) * 100.0, cfg.rqFrac * 100.0,
-      static_cast<long long>(cfg.rqSize), r.mops, rqMops,
+      static_cast<long long>(cfg.rqSize), r.mops, r.mopsApplied, rqMops,
       static_cast<unsigned long long>(r.totalOps),
+      static_cast<unsigned long long>(r.opsApplied),
       static_cast<unsigned long long>(r.minThreadOps),
       static_cast<unsigned long long>(r.maxThreadOps),
       static_cast<unsigned long long>(r.rqs),
-      static_cast<unsigned long long>(r.rqKeys),
-      static_cast<unsigned long long>(r.cyclesPerOp),
+      static_cast<unsigned long long>(r.rqKeys), r.nsPerOp, r.cyclesPerOp,
       static_cast<unsigned long long>(r.footprintBytes), r.elapsedSec,
-      r.keysumOk ? "true" : "false");
+      r.drainSec, r.keysumOk ? "true" : "false");
+  if (r.lat.valid) {
+    // Overall op quantiles at the top level (what bench_compare.py gates),
+    // the open-loop queueing-delay p99 beside them, and the per-category
+    // breakdown nested under "lat" (schema: docs/BENCHMARKING.md).
+    std::fprintf(f,
+                 ",\"p50_ns\":%.1f,\"p99_ns\":%.1f,\"p999_ns\":%.1f,"
+                 "\"max_ns\":%.1f,\"sched_p99_ns\":%.1f,\"lat\":{",
+                 r.lat.overall.p50Ns, r.lat.overall.p99Ns,
+                 r.lat.overall.p999Ns, r.lat.overall.maxNs,
+                 r.lat.of(OpCat::kSched).p99Ns);
+    for (int c = 0; c < kNumOpCats; ++c) {
+      const LatencySummary::Cat& cat = r.lat.cat[c];
+      std::fprintf(f,
+                   "%s\"%s\":{\"count\":%llu,\"p50_ns\":%.1f,"
+                   "\"p99_ns\":%.1f,\"p999_ns\":%.1f,\"max_ns\":%.1f}",
+                   c == 0 ? "" : ",", kOpCatNames[c],
+                   static_cast<unsigned long long>(cat.count), cat.p50Ns,
+                   cat.p99Ns, cat.p999Ns, cat.maxNs);
+    }
+    std::fprintf(f, "}");
+  }
+  std::fprintf(f, "}\n");
   std::fflush(f);
 }
 

@@ -1,0 +1,198 @@
+// Per-operation latency recording for the bench driver: log-bucketed
+// power-of-two histograms cheap enough to sit inside the measured loop, one
+// histogram per op category per thread, mergeable after the trial, with
+// quantile extraction (intra-bucket linear interpolation) reported in
+// calibrated nanoseconds (util/timing.hpp, TscCal).
+//
+// Design constraints, in order:
+//  1. Recording cost — the driver samples every 2^latSampleShift-th op
+//     (TrialConfig::latSampleShift, default 1-in-8): only a sampled op pays
+//     the two rdtsc reads (~25-30ns each on this class of hardware, >10% of
+//     a ~250ns tree op if paid every time), the rest run untouched. The
+//     record itself is one array increment — no allocation, no branches
+//     beyond the bucket index math. Tail quantiles survive sampling: the
+//     stride is uncorrelated with op cost, so the sampled stream is an
+//     unbiased draw and p99/p999 converge with 1/8 the samples.
+//  2. Bounded error — buckets are log-linear: 2^kSubBits linear sub-buckets
+//     per power-of-two octave, so a bucket spans at most 1/2^kSubBits
+//     (6.25%) of its value, and quantiles interpolate inside the bucket.
+//     Values below 2^kSubBits ticks are exact.
+//  3. Unit-agnostic storage — histograms store raw tick values (whatever
+//     rdtsc returns on this platform); conversion to nanoseconds happens
+//     once, at summary time, through the TscCal tsc→ns calibration. Merging
+//     histograms recorded on the same machine is therefore exact.
+//
+// Coordinated omission: in closed-loop mode a slow op delays the *next*
+// request, so the recorded stream under-samples exactly the moments the
+// structure was slow (Tene's "coordinated omission"). The driver's open-loop
+// mode (workload.hpp, ArrivalSpec) fixes the arrival times independently of
+// service times and measures each op from its *scheduled* arrival, so time
+// spent queued behind a stalled worker lands in the op's latency (and,
+// separately, in the kSched category). docs/BENCHMARKING.md has the worked
+// explainer.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "util/defs.hpp"
+#include "util/timing.hpp"
+
+namespace pathcas::bench {
+
+/// Latency categories, one histogram each. kSched is the open-loop queueing
+/// delay (execution start minus scheduled arrival) — zero-width in closed
+/// loop, and the coordinated-omission signal in open loop.
+enum class OpCat : int { kInsert = 0, kErase, kFind, kRq, kSched };
+inline constexpr int kNumOpCats = 5;
+inline constexpr const char* kOpCatNames[kNumOpCats] = {"insert", "erase",
+                                                        "find", "rq", "sched"};
+
+/// Log-linear histogram over uint64 values (raw rdtsc ticks in the driver).
+/// Bucket layout: values < 2^kSubBits land in exact unit buckets; above
+/// that, each power-of-two octave splits into 2^kSubBits linear sub-buckets.
+/// Deterministic: the same multiset of samples produces the same counts and
+/// the same quantiles regardless of insertion order or thread interleaving
+/// (merging is element-wise addition).
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 4;                 // 16 sub-buckets/octave
+  static constexpr std::uint64_t kSub = 1ULL << kSubBits;
+  // Octave 0 is the exact region [0, 2^kSubBits); octaves 1..60 cover the
+  // remaining uint64 range at kSub buckets each.
+  static constexpr int kNumBuckets = (64 - kSubBits + 1) << kSubBits;
+
+  /// Bucket index for a value; monotone in v, total over uint64.
+  static int bucketIndex(std::uint64_t v) {
+    if (v < kSub) return static_cast<int>(v);
+    const int e = 63 - std::countl_zero(v);  // floor(log2 v) >= kSubBits
+    return ((e - kSubBits + 1) << kSubBits) +
+           static_cast<int>((v >> (e - kSubBits)) & (kSub - 1));
+  }
+
+  /// Smallest value mapping to bucket i (the bucket spans
+  /// [lowerBound(i), lowerBound(i+1))).
+  static std::uint64_t bucketLowerBound(int i) {
+    const int octave = i >> kSubBits;
+    const std::uint64_t sub = static_cast<std::uint64_t>(i) & (kSub - 1);
+    if (octave == 0) return sub;
+    return (kSub + sub) << (octave - 1);
+  }
+
+  void record(std::uint64_t v) {
+    ++counts_[static_cast<std::size_t>(bucketIndex(v))];
+    ++total_;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LatencyHistogram& other) {
+    for (int i = 0; i < kNumBuckets; ++i) counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+    total_ += other.total_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  std::uint64_t count() const { return total_; }
+  /// Exact largest recorded value (tracked beside the buckets, so max_ns
+  /// carries no bucket rounding).
+  std::uint64_t maxValue() const { return max_; }
+
+  /// Value at quantile q in [0, 1]: walk the cumulative counts to the bucket
+  /// holding the q·count-th sample, then interpolate linearly between the
+  /// bucket's bounds by the sample's position within the bucket. Returns 0
+  /// on an empty histogram. q=1 returns the exact recorded max.
+  double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    if (q >= 1.0) return static_cast<double>(max_);
+    if (q < 0.0) q = 0.0;
+    // Rank of the target sample, 1-based: ceil(q * total), clamped to >= 1.
+    const double target = q * static_cast<double>(total_);
+    std::uint64_t rank = static_cast<std::uint64_t>(target);
+    if (static_cast<double>(rank) < target || rank == 0) ++rank;
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const std::uint64_t c = counts_[static_cast<std::size_t>(i)];
+      if (cum + c >= rank) {
+        const double lo = static_cast<double>(bucketLowerBound(i));
+        const double hi = (i + 1 < kNumBuckets)
+                              ? static_cast<double>(bucketLowerBound(i + 1))
+                              : lo;
+        // Position of the target inside this bucket, in (0, 1].
+        const double frac =
+            static_cast<double>(rank - cum) / static_cast<double>(c);
+        const double v = lo + (hi - lo) * frac;
+        // The true max bounds every quantile (the top bucket's upper edge
+        // can overshoot what was actually recorded).
+        return std::min(v, static_cast<double>(max_));
+      }
+      cum += c;
+    }
+    return static_cast<double>(max_);
+  }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// One worker thread's recorder: a histogram per category. Padded so
+/// adjacent threads' recorders never share a cache line (the counts are
+/// written on every op of the measured loop).
+struct alignas(kNoFalseSharing) LatencyRecorder {
+  std::array<LatencyHistogram, kNumOpCats> hist;
+
+  void record(OpCat cat, std::uint64_t ticks) {
+    hist[static_cast<std::size_t>(cat)].record(ticks);
+  }
+  void merge(const LatencyRecorder& other) {
+    for (int c = 0; c < kNumOpCats; ++c)
+      hist[static_cast<std::size_t>(c)].merge(
+          other.hist[static_cast<std::size_t>(c)]);
+  }
+};
+
+/// Trial-level latency summary in calibrated nanoseconds: per-category
+/// p50/p99/p999/max plus the same quantiles over all completed ops (insert +
+/// erase + find + rq merged; kSched stays separate — queueing delay is not
+/// an op).
+struct LatencySummary {
+  struct Cat {
+    std::uint64_t count = 0;
+    double p50Ns = 0.0, p99Ns = 0.0, p999Ns = 0.0, maxNs = 0.0;
+  };
+  Cat cat[kNumOpCats];  // indexed by OpCat
+  Cat overall;          // all op categories merged (excludes kSched)
+  bool valid = false;   // false when latency recording was off
+
+  const Cat& of(OpCat c) const { return cat[static_cast<int>(c)]; }
+};
+
+/// Merge per-thread recorders and extract the summary. `nsPerTick` is the
+/// TscCal calibration (passed in so tests can use a synthetic scale).
+inline LatencySummary summarizeLatency(const LatencyRecorder* recs, int n,
+                                       double nsPerTick) {
+  LatencySummary s;
+  s.valid = true;
+  LatencyRecorder merged;
+  for (int t = 0; t < n; ++t) merged.merge(recs[t]);
+  LatencyHistogram all;
+  const auto fill = [nsPerTick](LatencySummary::Cat* out,
+                                const LatencyHistogram& h) {
+    out->count = h.count();
+    out->p50Ns = h.quantile(0.50) * nsPerTick;
+    out->p99Ns = h.quantile(0.99) * nsPerTick;
+    out->p999Ns = h.quantile(0.999) * nsPerTick;
+    out->maxNs = static_cast<double>(h.maxValue()) * nsPerTick;
+  };
+  for (int c = 0; c < kNumOpCats; ++c) {
+    const LatencyHistogram& h = merged.hist[static_cast<std::size_t>(c)];
+    fill(&s.cat[c], h);
+    if (static_cast<OpCat>(c) != OpCat::kSched) all.merge(h);
+  }
+  fill(&s.overall, all);
+  return s;
+}
+
+}  // namespace pathcas::bench

@@ -391,4 +391,77 @@ inline bool findMix(const std::string& name, MixSpec* out) {
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Arrival process (closed loop vs open-loop Poisson)
+// ---------------------------------------------------------------------------
+
+/// How requests arrive at the workers. `closed` (the default) is the classic
+/// back-to-back loop: each worker issues its next op the instant the
+/// previous one returns, so the offered load adapts to the service rate and
+/// slow periods are under-sampled (coordinated omission). `poisson:<rate>`
+/// is an open loop: ops arrive on a deterministic Poisson schedule at
+/// `<rate>` total ops/sec (split evenly across the workers), generated in
+/// virtual time — an op whose scheduled arrival has already passed runs
+/// immediately and the backlog it waited through is measured as queueing
+/// delay, not silently dropped. PATHCAS_BENCH_ARRIVAL carries the same
+/// grammar (driver.hpp, applyEnvArrival).
+struct ArrivalSpec {
+  bool open = false;      // false = closed loop
+  double ratePerSec = 0;  // total target throughput across all threads
+
+  /// Canonical text form: "closed" or "poisson:<rate>"; round-trips through
+  /// parse() like DistSpec::label().
+  std::string label() const {
+    if (!open) return "closed";
+    char b[48];
+    const auto res = std::to_chars(b, b + sizeof b, ratePerSec);
+    return "poisson:" + std::string(b, res.ptr);
+  }
+
+  /// Parse "closed" | "poisson:<opsPerSec>" (rate finite and > 0). Returns
+  /// false (leaving *out untouched) on malformed input.
+  static bool parse(const std::string& s, ArrivalSpec* out) {
+    const std::vector<std::string> f = detail::splitColons(s);
+    ArrivalSpec spec;
+    if (f[0] == "closed") {
+      if (f.size() != 1) return false;
+    } else if (f[0] == "poisson") {
+      if (f.size() != 2) return false;
+      spec.open = true;
+      if (!detail::parseDouble(f[1], &spec.ratePerSec)) return false;
+      if (spec.ratePerSec <= 0.0) return false;
+    } else {
+      return false;
+    }
+    *out = spec;
+    return true;
+  }
+};
+
+/// One worker thread's deterministic Poisson arrival stream: exponential
+/// inter-arrival gaps with mean 1/rate, from an RNG stream derived from
+/// (seed, tid) exactly like KeyGen's — replaying a trial replays every
+/// scheduled arrival instant. Gaps are produced in nanoseconds (double); the
+/// driver converts to rdtsc ticks once per sample with TscCal::ticksPerNs.
+class ArrivalGen {
+ public:
+  ArrivalGen(double ratePerSec, std::uint64_t seed, int tid)
+      : meanGapNs_(1e9 / ratePerSec),
+        rng_(seed * 0xd1342543de82ef95ULL + 0x9e3779b97f4a7c15ULL +
+             static_cast<std::uint64_t>(tid)) {}
+
+  /// Next inter-arrival gap in nanoseconds: -ln(1 - u) * mean, u ~ U[0,1).
+  /// u = 0 maps to a zero gap; u -> 1 tails off past 20+ means, which is
+  /// exactly the burstiness a Poisson process owes us.
+  double nextGapNs() {
+    return -std::log1p(-rng_.nextDouble()) * meanGapNs_;
+  }
+
+  double meanGapNs() const { return meanGapNs_; }
+
+ private:
+  double meanGapNs_;
+  Xoshiro256 rng_;
+};
+
 }  // namespace pathcas::bench

@@ -1,0 +1,353 @@
+// Unit tests for the tail-latency subsystem: histogram bucket geometry and
+// quantile extraction against an exact oracle (bench_fw/latency.hpp), the
+// deterministic Poisson arrival generator and ArrivalSpec grammar
+// (bench_fw/workload.hpp), and the instrumented driver end to end — closed
+// and open loop, submitted-vs-applied accounting, and the stop-before-drain
+// timed window (bench_fw/driver.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "bench_fw/adapters.hpp"
+#include "bench_fw/latency.hpp"
+#include "bench_fw/workload.hpp"
+
+namespace pathcas::bench {
+namespace {
+
+using testing::PathCasBstAdapter;
+
+// ---------------------------------------------------------------------------
+// Histogram geometry
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogram, BucketIndexIsExactBelowSubRange) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSub; ++v) {
+    EXPECT_EQ(LatencyHistogram::bucketIndex(v), static_cast<int>(v));
+    EXPECT_EQ(LatencyHistogram::bucketLowerBound(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LatencyHistogram, LowerBoundRoundTripsAndIndexIsMonotone) {
+  // Every value must land in a bucket whose span contains it, and the index
+  // must be monotone in the value. Probe powers of two and their neighbours
+  // across the whole uint64 range — exactly where the octave math can be off
+  // by one.
+  std::vector<std::uint64_t> probes = {0, 1, 2, 15, 16, 17, 31, 32, 33};
+  for (int e = 5; e < 64; ++e) {
+    const std::uint64_t p = 1ULL << e;
+    probes.push_back(p - 1);
+    probes.push_back(p);
+    probes.push_back(p + 1);
+    probes.push_back(p + (p >> 1));  // mid-octave
+  }
+  probes.push_back(~0ULL);
+  std::sort(probes.begin(), probes.end());
+  int prevIdx = -1;
+  for (std::uint64_t v : probes) {
+    const int idx = LatencyHistogram::bucketIndex(v);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, LatencyHistogram::kNumBuckets);
+    EXPECT_GE(idx, prevIdx) << "index not monotone at v=" << v;
+    prevIdx = idx;
+    const std::uint64_t lo = LatencyHistogram::bucketLowerBound(idx);
+    EXPECT_LE(lo, v);
+    if (idx + 1 < LatencyHistogram::kNumBuckets) {
+      const std::uint64_t hi = LatencyHistogram::bucketLowerBound(idx + 1);
+      EXPECT_GT(hi, v) << "v=" << v << " above its bucket span";
+      // Relative bucket width <= 1/kSub (6.25%) beyond the exact region —
+      // the resolution bound every quantile inherits.
+      if (lo >= LatencyHistogram::kSub) {
+        EXPECT_LE(static_cast<double>(hi - lo) / static_cast<double>(lo),
+                  1.0 / static_cast<double>(LatencyHistogram::kSub) + 1e-12);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs an exact oracle
+// ---------------------------------------------------------------------------
+
+/// Exact oracle: the rank-ceil(q*n) order statistic (1-based), matching the
+/// histogram's rank convention.
+std::uint64_t exactQuantile(std::vector<std::uint64_t> sorted, double q) {
+  const double target = q * static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(target);
+  if (static_cast<double>(rank) < target || rank == 0) ++rank;
+  return sorted[rank - 1];
+}
+
+TEST(LatencyHistogram, QuantilesMatchOracleWithinBucketResolution) {
+  // A latency-shaped sample: lognormal body plus a 1% far tail, spanning
+  // several octaves, the regime the log-linear layout is built for.
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> body(8.0, 1.0);   // median ~3000
+  std::uniform_int_distribution<std::uint64_t> tail(200000, 5000000);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> vals;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = (i % 100 == 99)
+                                ? tail(rng)
+                                : static_cast<std::uint64_t>(body(rng)) + 1;
+    vals.push_back(v);
+    h.record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = static_cast<double>(exactQuantile(vals, q));
+    const double got = h.quantile(q);
+    // The oracle's sample sits inside the reported bucket; interpolation can
+    // land anywhere within it, so the error is bounded by one bucket width
+    // (1/16 relative) on either side.
+    EXPECT_NEAR(got, exact, exact / 16.0 + 1.0) << "q=" << q;
+  }
+  EXPECT_EQ(h.count(), vals.size());
+  EXPECT_EQ(h.maxValue(), vals.back());
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(vals.back()));
+}
+
+TEST(LatencyHistogram, EmptyAndSingleValue) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.record(12345);
+  for (double q : {0.0, 0.5, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 12345.0) << "q=" << q;
+}
+
+TEST(LatencyHistogram, MergeEqualsCombinedRecording) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint64_t> d(1, 1u << 20);
+  LatencyHistogram parts[3], combined;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t v = d(rng);
+    parts[i % 3].record(v);
+    combined.record(v);
+  }
+  LatencyHistogram merged;
+  for (const auto& p : parts) merged.merge(p);
+  EXPECT_EQ(merged.count(), combined.count());
+  EXPECT_EQ(merged.maxValue(), combined.maxValue());
+  for (double q : {0.01, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(merged.quantile(q), combined.quantile(q)) << "q=" << q;
+}
+
+TEST(LatencyHistogram, DeterministicUnderReordering) {
+  // Same multiset, three insertion orders -> identical counts and quantiles
+  // (the property that makes cross-thread merging well-defined).
+  std::vector<std::uint64_t> vals;
+  std::mt19937_64 rng(99);
+  std::lognormal_distribution<double> d(6.0, 2.0);
+  for (int i = 0; i < 20000; ++i)
+    vals.push_back(static_cast<std::uint64_t>(d(rng)) + 1);
+  auto fill = [](const std::vector<std::uint64_t>& v) {
+    LatencyHistogram h;
+    for (std::uint64_t x : v) h.record(x);
+    return h;
+  };
+  const LatencyHistogram a = fill(vals);
+  std::sort(vals.begin(), vals.end());
+  const LatencyHistogram b = fill(vals);
+  std::reverse(vals.begin(), vals.end());
+  const LatencyHistogram c = fill(vals);
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q));
+    EXPECT_DOUBLE_EQ(a.quantile(q), c.quantile(q));
+  }
+}
+
+TEST(LatencySummary, OverallExcludesSchedAndScalesByNsPerTick) {
+  LatencyRecorder recs[2];
+  recs[0].record(OpCat::kInsert, 100);
+  recs[0].record(OpCat::kFind, 200);
+  recs[1].record(OpCat::kErase, 300);
+  recs[1].record(OpCat::kSched, 1000000);  // must not pollute `overall`
+  const LatencySummary s = summarizeLatency(recs, 2, 2.0);
+  EXPECT_TRUE(s.valid);
+  EXPECT_EQ(s.overall.count, 3u);
+  EXPECT_EQ(s.of(OpCat::kSched).count, 1u);
+  EXPECT_DOUBLE_EQ(s.overall.maxNs, 300.0 * 2.0);
+  EXPECT_DOUBLE_EQ(s.of(OpCat::kSched).maxNs, 1000000.0 * 2.0);
+  EXPECT_LT(s.overall.p999Ns, 1000.0);  // sched's ms-scale sample excluded
+}
+
+// ---------------------------------------------------------------------------
+// Arrival process
+// ---------------------------------------------------------------------------
+
+TEST(ArrivalSpecParse, RoundTripsAndValidates) {
+  const char* good[] = {"closed", "poisson:1", "poisson:500000",
+                        "poisson:1e6", "poisson:2500000.5"};
+  for (const char* s : good) {
+    ArrivalSpec spec;
+    EXPECT_TRUE(ArrivalSpec::parse(s, &spec)) << s;
+    ArrivalSpec again;
+    EXPECT_TRUE(ArrivalSpec::parse(spec.label(), &again)) << spec.label();
+    EXPECT_EQ(spec.open, again.open) << s;
+    EXPECT_EQ(spec.ratePerSec, again.ratePerSec) << s;
+  }
+  const char* bad[] = {"",          "open",        "poisson",
+                       "poisson:",  "poisson:0",   "poisson:-5",
+                       "poisson:nan", "poisson:inf", "poisson:abc",
+                       "closed:1",  "poisson:1:2"};
+  for (const char* s : bad) {
+    ArrivalSpec spec;
+    EXPECT_FALSE(ArrivalSpec::parse(s, &spec)) << s;
+  }
+}
+
+TEST(ArrivalGen, DeterministicPerSeedAndThread) {
+  ArrivalGen a(1e6, 123, 0), b(1e6, 123, 0), c(1e6, 123, 1);
+  bool anyDiff = false;
+  for (int i = 0; i < 1000; ++i) {
+    const double ga = a.nextGapNs();
+    EXPECT_DOUBLE_EQ(ga, b.nextGapNs());
+    if (ga != c.nextGapNs()) anyDiff = true;
+  }
+  EXPECT_TRUE(anyDiff) << "thread streams must not collide";
+}
+
+TEST(ArrivalGen, GapsAreExponentialChiSquare) {
+  // Bucket 200k gaps into 20 equal-probability bins by the exponential
+  // quantile function and chi-square against the uniform expectation. The
+  // 0.999 critical value for 19 dof is 43.8; a wrong distribution (uniform
+  // gaps, say) lands in the thousands.
+  const double mean = 1000.0;  // rate 1e6/s -> 1000ns mean gap
+  ArrivalGen gen(1e6, 42, 0);
+  constexpr int kBins = 20;
+  constexpr int kSamples = 200000;
+  std::array<int, kBins> obs{};
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = gen.nextGapNs();
+    ASSERT_GE(g, 0.0);
+    sum += g;
+    // CDF of Exp(mean): u = 1 - exp(-g/mean); bin by floor(u * kBins).
+    const double u = 1.0 - std::exp(-g / mean);
+    int bin = static_cast<int>(u * kBins);
+    if (bin >= kBins) bin = kBins - 1;
+    ++obs[static_cast<std::size_t>(bin)];
+  }
+  EXPECT_NEAR(sum / kSamples, mean, mean * 0.02);  // sample mean within 2%
+  const double expect = static_cast<double>(kSamples) / kBins;
+  double chi2 = 0.0;
+  for (int o : obs) {
+    const double d = static_cast<double>(o) - expect;
+    chi2 += d * d / expect;
+  }
+  EXPECT_LT(chi2, 43.8) << "inter-arrival gaps are not exponential";
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented driver end to end
+// ---------------------------------------------------------------------------
+
+TrialResult runSmall(TrialConfig cfg) {
+  cfg.keyRange = 1 << 10;
+  cfg.durationMs = 50;
+  cfg.insertFrac = 0.25;
+  cfg.deleteFrac = 0.25;
+  return runCell([] { return std::make_unique<PathCasBstAdapter<false>>(); },
+                 cfg);
+}
+
+TEST(DriverLatency, ClosedLoopRecordsAllCategoriesAndTimedWindow) {
+  TrialConfig cfg;
+  cfg.threads = 2;
+  cfg.latency = true;
+  cfg.latSampleShift = 0;  // record every op: counts must balance exactly
+  const TrialResult r = runSmall(cfg);
+  ASSERT_TRUE(r.lat.valid);
+  EXPECT_GT(r.totalOps, 0u);
+  // Unbatched: every submitted op executes, and every op is recorded.
+  EXPECT_EQ(r.opsApplied, r.totalOps);
+  EXPECT_EQ(r.lat.overall.count, r.totalOps);
+  EXPECT_EQ(r.lat.of(OpCat::kSched).count, 0u) << "no queueing in closed loop";
+  EXPECT_GT(r.lat.of(OpCat::kInsert).count, 0u);
+  EXPECT_GT(r.lat.of(OpCat::kErase).count, 0u);
+  EXPECT_GT(r.lat.of(OpCat::kFind).count, 0u);
+  // Quantile ordering and sane magnitudes (an op takes >= tens of ns).
+  EXPECT_GT(r.lat.overall.p50Ns, 0.0);
+  EXPECT_LE(r.lat.overall.p50Ns, r.lat.overall.p99Ns);
+  EXPECT_LE(r.lat.overall.p99Ns, r.lat.overall.p999Ns);
+  EXPECT_LE(r.lat.overall.p999Ns, r.lat.overall.maxNs);
+  // The timed window is go->stop: ~durationMs, not stretched by join/drain,
+  // and the drain tail is accounted separately and non-negative.
+  EXPECT_GE(r.elapsedSec, 0.045);
+  EXPECT_LT(r.elapsedSec, 1.0);
+  EXPECT_GE(r.drainSec, 0.0);
+  // ns_per_op is calibrated wall time per op — consistent with throughput
+  // within calibration + scheduling slop on a shared box.
+  const double wallNsPerOp =
+      r.elapsedSec * 1e9 * cfg.threads / static_cast<double>(r.totalOps);
+  EXPECT_NEAR(r.nsPerOp, wallNsPerOp, wallNsPerOp * 0.5);
+}
+
+TEST(DriverLatency, SampledRecordingCountsRoughlyOneInEight) {
+  TrialConfig cfg;
+  cfg.threads = 1;
+  cfg.latency = true;
+  cfg.latSampleShift = 3;  // the default: every 8th op
+  const TrialResult r = runSmall(cfg);
+  ASSERT_TRUE(r.lat.valid);
+  const double frac = static_cast<double>(r.lat.overall.count) /
+                      static_cast<double>(r.totalOps);
+  EXPECT_NEAR(frac, 1.0 / 8.0, 0.01);
+}
+
+TEST(DriverLatency, OpenLoopMeasuresQueueingDelay) {
+  TrialConfig cfg;
+  cfg.threads = 1;
+  cfg.latency = true;
+  cfg.latSampleShift = 0;
+  cfg.arrival.open = true;
+  cfg.arrival.ratePerSec = 50000;  // far below capacity: mostly idle
+  const TrialResult r = runSmall(cfg);
+  ASSERT_TRUE(r.lat.valid);
+  EXPECT_GT(r.lat.of(OpCat::kSched).count, 0u);
+  EXPECT_GT(r.lat.overall.count, 0u);
+  // Throughput tracks the offered rate, not capacity: ~50k ops/sec over
+  // ~50ms is ~2500 ops. Allow wide slop for scheduler noise, but it must be
+  // far below what the closed loop would do (hundreds of thousands).
+  EXPECT_LT(r.totalOps, 25000u);
+  EXPECT_GT(r.totalOps, 500u);
+}
+
+TEST(DriverLatency, BatchedTrialSplitsSubmittedFromApplied) {
+  TrialConfig cfg;
+  cfg.threads = 2;
+  cfg.latency = true;
+  cfg.latSampleShift = 0;
+  cfg.batch = 64;
+  cfg.dist.kind = DistKind::kZipfian;  // skew -> window netting actually fires
+  cfg.dist.theta = 0.99;
+  const TrialResult r = runSmall(cfg);
+  ASSERT_TRUE(r.lat.valid);
+  EXPECT_GT(r.totalOps, 0u);
+  // Netting may only ever reduce: applied <= submitted, and under zipfian
+  // skew on a 1k key range some window ops must annihilate.
+  EXPECT_LT(r.opsApplied, r.totalOps);
+  // Every op still completes and records — annihilated ops complete at their
+  // window's flush.
+  EXPECT_EQ(r.lat.overall.count, r.totalOps);
+  EXPECT_LE(r.mopsApplied, r.mops);
+}
+
+TEST(DriverLatency, RecordingOffLeavesSummaryInvalid) {
+  TrialConfig cfg;
+  cfg.threads = 1;
+  const TrialResult r = runSmall(cfg);
+  EXPECT_FALSE(r.lat.valid);
+  EXPECT_EQ(r.lat.overall.count, 0u);
+  EXPECT_GT(r.totalOps, 0u);
+  EXPECT_EQ(r.opsApplied, r.totalOps);
+}
+
+}  // namespace
+}  // namespace pathcas::bench
