@@ -1,15 +1,18 @@
 // Scenario: a web tier's in-memory session index — the search-heavy ordered
-// index workload the paper's introduction motivates. Lookups dominate
-// (~95%), with a steady trickle of logins (inserts) and expirations
-// (deletes). The index must answer "is this session live, and what is its
-// user id" with high throughput from many server threads.
+// index workload the paper's introduction motivates, now with the reverse
+// question every real session table also answers: not just "which user owns
+// session sid" but "which session does user uid hold". Earlier revisions
+// hand-rolled that as two independent trees updated back to back, and had to
+// tolerate windows where a login was visible in one index but not the other.
+// structs/multi_index_map.hpp deletes that logic: every login/logout commits
+// the sid→uid tree AND the uid→sid tree in ONE KCAS, so the two indexes can
+// never disagree — getChecked() proves it per lookup by validating both
+// search paths as one atomic snapshot.
 //
-// The index owns its whole memory/synchronization stack through a
-// per-instance recl::DomainSet (private KCAS domain + EBR domain + node
-// pool) instead of the process-global singletons: every thread touching the
-// tree opens a k::ScopedDomain on the set's KCAS domain, and at shutdown the
-// stack tears down to exactly zero leaked nodes — asserted below, so this
-// example doubles as the DomainSet lifecycle smoke test.
+// The composite owns its whole memory/synchronization stack through a
+// per-instance recl::DomainSet; at shutdown ~MultiIndexMap drains limbo and
+// aborts unless every node is accounted for, so this example doubles as the
+// DomainSet lifecycle smoke test (zero-leak teardown asserted below).
 //
 //   build/examples/session_index
 #include <atomic>
@@ -17,9 +20,7 @@
 #include <thread>
 #include <vector>
 
-#include "kcas/domain.hpp"
-#include "recl/domain_set.hpp"
-#include "trees/int_avl_pathcas.hpp"
+#include "structs/multi_index_map.hpp"
 #include "util/defs.hpp"
 #include "util/rand.hpp"
 #include "util/thread_registry.hpp"
@@ -31,49 +32,60 @@ constexpr std::int64_t kSessionSpace = 1 << 18;
 constexpr int kServerThreads = 4;
 constexpr int kRunMs = 500;
 
-using SessionTree = pathcas::ds::IntAvlPathCas<std::int64_t, std::int64_t>;
+// uid = sid * 7: injective, so the secondary index's uniqueness rule never
+// rejects a login.
+constexpr std::int64_t uidOf(std::int64_t sid) { return sid * 7; }
+
+using SessionIndex = pathcas::ds::MultiIndexMap<std::int64_t, std::int64_t>;
 
 }  // namespace
 
 int main() {
-  // The index's private stack. Declared before the tree (and destroyed
-  // after it), so the tree's nodes return to pools that are still alive.
-  pathcas::recl::DomainSet set;
   {
-    SessionTree sessions({}, set.ebr(),
-                         &set.pool<typename SessionTree::Node>());
+    SessionIndex sessions;
 
-    // Seed with half the session space "already logged in". Like every
-    // other access, seeding runs under the set's KCAS domain.
+    // Seed with half the session space "already logged in". The composite
+    // manages its own KCAS domain scoping internally.
     {
-      pathcas::k::ScopedDomain scope(set.kcas());
       pathcas::Xoshiro256 rng(1);
       for (std::int64_t i = 0; i < kSessionSpace / 2; ++i) {
         const auto sid =
             static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
-        sessions.insert(sid, /*userId=*/sid * 7);
+        sessions.insert(sid, uidOf(sid));
       }
     }
 
     std::atomic<bool> stop{false};
-    std::atomic<std::uint64_t> lookups{0}, hits{0}, logins{0}, expiries{0};
+    std::atomic<std::uint64_t> lookups{0}, hits{0}, reverse{0}, logins{0},
+        expiries{0};
 
     std::vector<std::thread> servers;
     for (int t = 0; t < kServerThreads; ++t) {
       servers.emplace_back([&, t] {
         pathcas::ThreadGuard guard;
-        pathcas::k::ScopedDomain scope(set.kcas());
         pathcas::Xoshiro256 rng(100 + t);
         while (!stop.load(std::memory_order_relaxed)) {
           const auto sid =
               static_cast<std::int64_t>(rng.nextBounded(kSessionSpace));
           const auto dice = rng.nextBounded(100);
-          if (dice < 95) {  // session lookup
+          if (dice < 75) {  // session lookup: sid → uid
             if (sessions.get(sid).has_value()) hits.fetch_add(1);
             lookups.fetch_add(1);
-          } else if (dice < 98) {  // login
-            if (sessions.insert(sid, sid * 7)) logins.fetch_add(1);
-          } else {  // expiry
+          } else if (dice < 90) {  // reverse lookup: uid → sid
+            const auto back = sessions.getByValue(uidOf(sid));
+            if (back.has_value() && *back != sid) {
+              std::fprintf(stderr, "index divergence: uid %lld -> sid %lld\n",
+                           static_cast<long long>(uidOf(sid)),
+                           static_cast<long long>(*back));
+              std::abort();
+            }
+            reverse.fetch_add(1);
+          } else if (dice < 95) {  // checked lookup: both paths, one snapshot
+            (void)sessions.getChecked(sid);  // aborts if the indexes diverge
+            lookups.fetch_add(1);
+          } else if (dice < 98) {  // login: both indexes in one KCAS
+            if (sessions.insert(sid, uidOf(sid))) logins.fetch_add(1);
+          } else {  // expiry: both indexes in one KCAS
             if (sessions.erase(sid)) expiries.fetch_add(1);
           }
         }
@@ -86,30 +98,34 @@ int main() {
     for (auto& s : servers) s.join();
     const double sec = sw.elapsedSeconds();
 
-    const auto total = lookups.load() + logins.load() + expiries.load();
+    const auto total =
+        lookups.load() + reverse.load() + logins.load() + expiries.load();
     std::printf("session index: %.2f M ops/s across %d threads\n",
                 static_cast<double>(total) / sec / 1e6, kServerThreads);
     std::printf("  lookups   %10llu (%.1f%% hit rate)\n",
                 static_cast<unsigned long long>(lookups.load()),
                 100.0 * static_cast<double>(hits.load()) /
                     static_cast<double>(lookups.load() ? lookups.load() : 1));
+    std::printf("  reverse   %10llu\n",
+                static_cast<unsigned long long>(reverse.load()));
     std::printf("  logins    %10llu\n",
                 static_cast<unsigned long long>(logins.load()));
     std::printf("  expiries  %10llu\n",
                 static_cast<unsigned long long>(expiries.load()));
-    {
-      pathcas::k::ScopedDomain scope(set.kcas());
-      std::printf("  live sessions now: %llu\n",
-                  static_cast<unsigned long long>(sessions.size()));
-    }
-    // Expired sessions sit in EBR limbo; recycle them (all workers have
-    // joined, so the set is quiescent), then let the tree destructor return
-    // every remaining node to the set's pool.
-    set.drain();
+
+    // Quiescent: both trees structurally sound, pair sets mirrored.
+    sessions.checkInvariants();
+    std::printf("  live sessions now: %llu (bijection checked)\n",
+                static_cast<unsigned long long>(sessions.size()));
+
+    // Every session is one node in each index; after a drain the composite's
+    // DomainSet must account for exactly those, plus the two pool-allocated
+    // routing sentinels (min/max roots) each tree holds for its lifetime.
+    sessions.drain();
+    PATHCAS_CHECK(sessions.liveNodes() == 2 * sessions.size() + 4);
   }
-  // Lifecycle invariant: with the tree gone and limbo drained, the set's
-  // pools account for every node — zero leaks.
-  PATHCAS_CHECK(set.liveNodes() == 0);
+  // ~MultiIndexMap just ran its built-in zero-leak teardown check (drain +
+  // liveNodes() == 0 abort); reaching this line IS the assertion.
   std::printf("  domain-set teardown: 0 leaked nodes\n");
   return 0;
 }

@@ -18,8 +18,12 @@ set -euo pipefail
 
 build_dir="${1:-build}"
 out="BENCH_baseline.json"
+# bench_compare.py averages rows with identical trial identity, so repeated
+# passes tighten the baseline's noisy columns (p99 especially) without any
+# schema change. Override with BASELINE_REPEATS=1 for a quick refresh.
+repeats="${BASELINE_REPEATS:-3}"
 
-for bench in skew_sweep batch_commit; do
+for bench in skew_sweep batch_commit cache_workload; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
     exit 1
@@ -28,19 +32,27 @@ done
 
 rm -f "$out"
 
-PATHCAS_BENCH_THREADS=2 \
-PATHCAS_BENCH_DIST=zipfian:0.99 \
-PATHCAS_BENCH_MIX=ycsb-b \
-PATHCAS_BENCH_SHARDS=1,4 \
-PATHCAS_BENCH_LATENCY=1 \
-PATHCAS_BENCH_JSON="$out" \
-  "$build_dir/bench/skew_sweep" >/dev/null
+for ((rep = 0; rep < repeats; ++rep)); do
+  PATHCAS_BENCH_THREADS=2 \
+  PATHCAS_BENCH_DIST=zipfian:0.99 \
+  PATHCAS_BENCH_MIX=ycsb-b \
+  PATHCAS_BENCH_SHARDS=1,4 \
+  PATHCAS_BENCH_LATENCY=1 \
+  PATHCAS_BENCH_JSON="$out" \
+    "$build_dir/bench/skew_sweep" >/dev/null
 
-PATHCAS_BENCH_THREADS=2 \
-PATHCAS_BENCH_BATCH=1,8 \
-PATHCAS_BENCH_SHARDS=1,4 \
-PATHCAS_BENCH_LATENCY=1 \
-PATHCAS_BENCH_JSON="$out" \
-  "$build_dir/bench/batch_commit" >/dev/null
+  PATHCAS_BENCH_THREADS=2 \
+  PATHCAS_BENCH_BATCH=1,8 \
+  PATHCAS_BENCH_SHARDS=1,4 \
+  PATHCAS_BENCH_LATENCY=1 \
+  PATHCAS_BENCH_JSON="$out" \
+    "$build_dir/bench/batch_commit" >/dev/null
 
-echo "wrote $(wc -l <"$out") baseline rows to $out"
+  PATHCAS_BENCH_THREADS=2 \
+  PATHCAS_BENCH_DIST=zipfian:0.99 \
+  PATHCAS_BENCH_LATENCY=1 \
+  PATHCAS_BENCH_JSON="$out" \
+    "$build_dir/bench/cache_workload" >/dev/null
+done
+
+echo "wrote $(wc -l <"$out") baseline rows to $out ($repeats repeats)"

@@ -25,7 +25,7 @@ perf change.
 
 Usage:
   scripts/bench_compare.py BASELINE.json NEW.json [--threshold-pct 25]
-      [--min-mops 0.01] [--min-p99-ns 50]
+      [--p99-threshold-pct 100] [--min-mops 0.01] [--min-p99-ns 50]
 
 Exit codes: 0 ok, 1 regression past threshold, 2 usage/parse error.
 """
@@ -125,6 +125,17 @@ def main():
         "more than this percentage (default: %(default)s)",
     )
     ap.add_argument(
+        "--p99-threshold-pct",
+        type=float,
+        default=None,
+        help="separate failure threshold for the p99 leg (default: same as "
+        "--threshold-pct). Sampled tail quantiles on shared hardware swing "
+        "far more run-to-run than mean throughput — one scheduler "
+        "preemption lands in the p99 bucket — so a looser p99 bar keeps "
+        "the gate sensitive to genuine blowups (saturation is 100x+) "
+        "without tripping on scheduler noise",
+    )
+    ap.add_argument(
         "--min-mops",
         type=float,
         default=0.01,
@@ -139,6 +150,8 @@ def main():
         "this many ns (sub-bucket noise; default: %(default)s)",
     )
     args = ap.parse_args()
+    if args.p99_threshold_pct is None:
+        args.p99_threshold_pct = args.threshold_pct
 
     base = load(args.baseline)
     new = load(args.new)
@@ -170,7 +183,7 @@ def main():
         why = []
         if delta < -args.threshold_pct:
             why.append(f"mops {delta:+.1f}%")
-        if p99_delta is not None and p99_delta > args.threshold_pct:
+        if p99_delta is not None and p99_delta > args.p99_threshold_pct:
             why.append(f"p99 {p99_delta:+.1f}%")
         marker = "  << REGRESSION" if why else ""
         if why:

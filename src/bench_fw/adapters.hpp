@@ -33,6 +33,7 @@
 #include "stm/tm_ext_bst.hpp"
 #include "structs/abtree_pathcas.hpp"
 #include "structs/list_pathcas.hpp"
+#include "structs/multi_index_map.hpp"
 #include "structs/skiplist_pathcas.hpp"
 #include "trees/ellen_bst.hpp"
 #include "trees/int_avl_pathcas.hpp"
@@ -336,6 +337,27 @@ struct McmsBstAdapter {
   static std::string name() {
     return UseHtm ? "int-bst-mcms+" : "int-bst-mcms-";
   }
+};
+
+/// The cross-structure composite (structs/multi_index_map.hpp): primary +
+/// secondary tree per instance on an OWNED DomainSet, so like the sharded
+/// adapters there is nothing process-global to drain — teardown (and the
+/// zero-leak abort) lives in ~MultiIndexMap itself. Point/range ops go
+/// through the primary index; every mutation is a two-tree KCAS.
+struct MultiIndexMapAdapter {
+  ds::MultiIndexMap<Key, Val> map;
+  bool insert(Key k, Val v) { return map.insert(k, v); }
+  bool erase(Key k) { return map.erase(k); }
+  bool contains(Key k) { return map.contains(k); }
+  std::size_t rangeQuery(Key lo, Key hi, RqOut& out) {
+    return map.rangeQuery(lo, hi, out);
+  }
+  std::uint64_t size() const { return map.size(); }
+  std::int64_t keySum() const { return map.keySum(); }
+  void checkInvariants() const { map.checkInvariants(); }
+  double avgKeyDepth() const { return map.checkInvariants().avgKeyDepth; }
+  std::uint64_t footprintBytes() const { return map.footprintBytes(); }
+  static std::string name() { return "multi-index-map"; }
 };
 
 }  // namespace pathcas::testing

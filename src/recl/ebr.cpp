@@ -16,7 +16,7 @@ EbrDomain::~EbrDomain() {
   // Recycle whatever is still in limbo; at destruction no user threads run.
   // Owners (pools) must still be alive — declare pools before local domains.
   for (auto& padded : slots_) {
-    for (int i = 0; i < 3; ++i) freeBag(*padded, i);
+    for (int i = 0; i < ThreadSlot::kBags; ++i) freeBag(*padded, i);
     for (LimboChunk* c = padded->chunkCache; c != nullptr;) {
       LimboChunk* next = c->next;
       delete c;
@@ -35,12 +35,20 @@ void EbrDomain::doPin(ThreadSlot& slot) {
 
   if (slot.lastPinEpoch != e) {
     slot.lastPinEpoch = e;
-    // A bag whose retire-time label is >= 2 epochs old is unreachable: any
-    // thread that could have obtained a pointer to its contents pre-unlink
-    // was pinned with an announcement < label+1, which would have blocked
-    // the global epoch from ever reaching label+2.
-    for (int i = 0; i < 3; ++i) {
-      if (slot.bags[i] != nullptr && slot.bagLabel[i] + 2 <= e)
+    // Free horizon: 3 epochs, not the textbook 2. The classic argument —
+    // "anyone who obtained a pointer pre-unlink was pinned with an
+    // announcement < label+1, blocking the epoch from reaching label+2" —
+    // covers pointers obtained *from the structure*, but KCAS helpers obtain
+    // staged addresses *from a descriptor*, which outlives the commit until
+    // its slot is reused. A helper pinned at label+1 can harvest such an
+    // address (the retire-time label load may lag the true epoch by one
+    // while the retirer is pinned), and pinned-at-current-epoch threads do
+    // not block the next advance — so label+2 could be reached without ever
+    // synchronizing with that helper, racing its doomed CAS against the
+    // recycle. One extra epoch forces an advance that must observe every
+    // such helper's announcement transition.
+    for (int i = 0; i < ThreadSlot::kBags; ++i) {
+      if (slot.bags[i] != nullptr && slot.bagLabel[i] + 3 <= e)
         freeBag(slot, i);
     }
   }
@@ -84,13 +92,14 @@ void EbrDomain::freeBag(ThreadSlot& slot, int bagIdx) {
 
 void EbrDomain::retireRaw(void* p, PoolBase* owner) {
   auto& slot = *slots_[ThreadRegistry::tid()];
-  // Label with the retire-time global epoch L. The bag slot L%3 can only
-  // hold leftovers labeled <= L-3, which are already freeable (global == L).
+  // Label with the retire-time global epoch L. The bag slot L%kBags can only
+  // hold leftovers labeled <= L-kBags, which are already freeable
+  // (global == L and the free horizon is kBags-1).
   const std::uint64_t label = globalEpoch_.load(std::memory_order_acquire);
-  const int idx = static_cast<int>(label % 3);
+  const int idx = static_cast<int>(label % ThreadSlot::kBags);
   if (slot.bagLabel[idx] != label) {
     if (slot.bags[idx] != nullptr) {
-      PATHCAS_DCHECK(slot.bagLabel[idx] + 3 <= label);
+      PATHCAS_DCHECK(slot.bagLabel[idx] + ThreadSlot::kBags <= label);
       freeBag(slot, idx);
     }
     slot.bagLabel[idx] = label;
@@ -129,7 +138,7 @@ void EbrDomain::drainAll() {
     PATHCAS_CHECK(!(slots_[i]->announce.load(std::memory_order_acquire) & 1));
   }
   for (auto& padded : slots_) {
-    for (int i = 0; i < 3; ++i) freeBag(*padded, i);
+    for (int i = 0; i < ThreadSlot::kBags; ++i) freeBag(*padded, i);
   }
 }
 

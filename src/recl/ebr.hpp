@@ -4,8 +4,11 @@
 // Protocol: each operation pins the calling thread by announcing the current
 // global epoch with a "pinned" bit (getGuard() in the paper's API). retire(p)
 // places p in the thread's limbo bag for the current epoch. A bag for epoch e
-// is freed once the global epoch has advanced twice past e: at that point no
-// pinned thread can still hold a pointer read in epoch e. Epoch advancement
+// is freed once the global epoch has advanced three times past e: two
+// advances guarantee no pinned thread still holds a pointer *read from the
+// structure* in epoch e, and the third covers KCAS helpers, which harvest
+// staged addresses from descriptors that outlive the commit (see doPin in
+// ebr.cpp for the full argument). Epoch advancement
 // is cooperative and amortized: every kAdvanceInterval pins a thread scans the
 // announcement array and advances the global epoch if every pinned thread has
 // announced it.
@@ -149,9 +152,10 @@ class EbrDomain {
     // *global epoch at retire time* of its contents (not the retiring
     // thread's pin epoch — the global epoch may have advanced mid-operation,
     // and labeling with the stale pin epoch would free one grace period too
-    // early).
-    LimboChunk* bags[3] = {nullptr, nullptr, nullptr};
-    std::uint64_t bagLabel[3] = {0, 0, 0};
+    // early). kBags = free horizon + 1 (see doPin for the horizon argument).
+    static constexpr int kBags = 4;
+    LimboChunk* bags[kBags] = {nullptr, nullptr, nullptr, nullptr};
+    std::uint64_t bagLabel[kBags] = {0, 0, 0, 0};
     LimboChunk* chunkCache = nullptr;
     std::uint64_t retired = 0;
     std::uint64_t freed = 0;

@@ -93,9 +93,16 @@ class IntAvlPathCas {
     for (;;) {
       start();
       const SearchResult s = search(key);
-      if (s.found && (opt_.reduceValidation || validate()))
-        return s.curr->val.load();
-      if (!s.found && validate()) return std::nullopt;
+      if (!s.found) {
+        if (validate()) return std::nullopt;
+        continue;
+      }
+      if (!opt_.reduceValidation && !validate()) continue;
+      // Same seqlock-style pair check as IntBstPathCas::get — the two-child
+      // erase swaps key/value in place and always bumps curr's version, so
+      // an unchanged version re-read AFTER the value load proves the pair.
+      const V val = s.curr->val.load();
+      if (s.curr->ver.load() == s.currVer) return val;
     }
   }
 

@@ -122,9 +122,20 @@ class IntBstPathCas {
     for (;;) {
       start();
       const SearchResult s = search(key);
-      if (s.found && (opt_.reduceValidation || validate()))
-        return s.curr->val.load();
-      if (!s.found && validate()) return std::nullopt;
+      if (!s.found) {
+        if (validate()) return std::nullopt;
+        continue;
+      }
+      if (!opt_.reduceValidation && !validate()) continue;
+      // §4.1 covers membership, but not the value: a concurrent two-child
+      // erase replaces this node's key AND value in place (successor swap),
+      // so a bare val load here could return the successor's value under
+      // the searched key. The swap always bumps curr's version, so
+      // re-reading the version AFTER the value load (acquire loads — the
+      // re-read cannot move before the val load) proves ⟨key, val⟩ was
+      // read as one intact pair; a mismatch re-traverses.
+      const V val = s.curr->val.load();
+      if (s.curr->ver.load() == s.currVer) return val;
     }
   }
 
@@ -334,6 +345,112 @@ class IntBstPathCas {
       applied += updateRun(keys + i, vals + i, isInsert + i,
                            std::min(chunk, n - i), outcomes + i);
     return applied;
+  }
+
+  // ------------------------------------------------------------------
+  // Composite staging hooks (structs/multi_index_map.hpp). These stage one
+  // logical tree op — search included — into the CALLING thread's current
+  // PathCAS op without committing it, so a composite structure can combine
+  // staged ops from SEVERAL trees sharing one KCAS domain into a single
+  // atomic commit. Contract: the caller ran start(), every tree involved
+  // was constructed on the same DomainSet, the calling thread holds a
+  // k::ScopedDomain on it and an EBR pin, and the caller finishes with
+  // vexec() (or abandons the op by calling start() again).
+  // ------------------------------------------------------------------
+
+  enum class Staged {
+    kStaged,  // entries staged; on commit the caller owns the follow-up
+              // (retireStaged for erases)
+    kNoop,    // op has no effect (insert: key present; erase: key absent) —
+              // the per-op witness rules apply (see callers)
+    kRetry,   // torn/marked neighborhood: re-traverse the whole composite
+  };
+
+  /// Stage insertIfAbsent(key, val). On kStaged the new node is `spare`
+  /// (allocated here on first use; carried across the caller's retries;
+  /// consumed by a successful commit — set it to nullptr then — or released
+  /// via discardSpare).
+  Staged stageInsert(K key, V val, Node*& spare) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    const SearchResult s = search(key);
+    if (s.found) return Staged::kNoop;
+    if (isMarked(s.parentVer)) return Staged::kRetry;
+    if (spare == nullptr) {
+      spare = pool_.alloc(key, val);
+    } else {
+      spare->key.setInitial(key);  // unpublished: reinitialization is safe
+      spare->val.setInitial(val);
+    }
+    const K parentKey = s.parent->key;
+    auto& ptrToChange = (key < parentKey) ? s.parent->left : s.parent->right;
+    add(ptrToChange, static_cast<Node*>(nullptr), spare);
+    addVer(s.parent->ver, s.parentVer, verBump(s.parentVer));
+    return Staged::kStaged;
+  }
+
+  /// Stage erase(key); mirrors erase()'s three shapes (leaf, one-child,
+  /// two-child successor swap). On kStaged, *victim is the node to pass to
+  /// retireStaged() once the composite commit succeeds, and *erasedVal the
+  /// value removed (read under the staged pins).
+  Staged stageErase(K key, Node** victim, V* erasedVal) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    const SearchResult s = search(key);
+    if (!s.found) return Staged::kNoop;
+    if (isMarked(s.currVer) || isMarked(s.parentVer)) return Staged::kRetry;
+    Node* const curr = s.curr;
+    Node* const parent = s.parent;
+    Node* const currLeft = curr->left;
+    Node* const currRight = curr->right;
+    const V currVal = curr->val;
+    if (erasedVal != nullptr) *erasedVal = currVal;
+    if (currLeft == nullptr || currRight == nullptr) {
+      Node* const childToKeep = (currLeft == nullptr) ? currRight : currLeft;
+      auto& ptrToChange =
+          (curr == parent->left.load()) ? parent->left : parent->right;
+      add(ptrToChange, curr, childToKeep);
+      addVer(parent->ver, s.parentVer, verBump(s.parentVer));
+      addVer(curr->ver, s.currVer, verMark(s.currVer));
+      *victim = curr;
+      return Staged::kStaged;
+    }
+    const Successor su = getSuccessor(curr, s.currVer);
+    if (su.succ == nullptr || isMarked(su.succVer) || isMarked(su.succPVer))
+      return Staged::kRetry;
+    Node* const succR = su.succ->right;
+    if (succR != nullptr) {
+      const Version succRVer = visit(succR);
+      if (isMarked(succRVer)) return Staged::kRetry;
+    }
+    auto& ptrToChange =
+        (su.succP->right.load() == su.succ) ? su.succP->right : su.succP->left;
+    add(ptrToChange, su.succ, succR);
+    const V succVal = su.succ->val;
+    add(curr->val, currVal, succVal);
+    add(curr->key, key, su.succ->key.load());
+    addVer(su.succ->ver, su.succVer, verMark(su.succVer));
+    addVer(su.succP->ver, su.succPVer, verBump(su.succPVer));
+    if (su.succP != curr) addVer(curr->ver, s.currVer, verBump(s.currVer));
+    *victim = su.succ;
+    return Staged::kStaged;
+  }
+
+  /// Validated-by-the-caller read: search within the current staged op. The
+  /// whole search path lands in the visited set, so a composite caller can
+  /// validateVisited() across several trees' searches at once — an atomic
+  /// cross-structure snapshot (MultiIndexMap::getChecked).
+  bool stageFind(K key, V* out) {
+    PATHCAS_DCHECK(key > kNegInf && key < kPosInf);
+    const SearchResult s = search(key);
+    if (!s.found) return false;
+    if (out != nullptr) *out = s.curr->val;
+    return true;
+  }
+
+  /// The erase follow-up, after the composite commit succeeded.
+  void retireStaged(Node* victim) { ebr_.retire(victim, pool_); }
+  /// Release an unconsumed insert spare (never published: direct recycle).
+  void discardSpare(Node* spare) {
+    if (spare != nullptr) pool_.destroy(spare);
   }
 
   // ------------------------------------------------------------------

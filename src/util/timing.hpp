@@ -7,6 +7,7 @@
 // an explicitly derived, platform-dependent extra.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -82,6 +83,59 @@ class TscCal {
                           b.wall - a.wall).count();
     const double ticks = static_cast<double>(b.tsc - a.tsc);
     return ticks > 0.0 ? ns / ticks : 1.0;
+  }
+};
+
+/// Virtual-clock hook for TTL logic. Everything that compares expiry
+/// deadlines (structs/lru_cache.hpp and friends) reads time through
+/// TtlClock::nowNs() instead of rdtsc/steady_clock directly, so tests can
+/// pin and advance time deterministically — no sleeps, no flaky margins.
+///
+/// Modes:
+///   - real (default): nowNs() = TscCal::toNs(rdtsc()). Monotone per thread,
+///     cheap (one rdtsc + one multiply), and the only property TTL needs is
+///     "advances roughly with wall time".
+///   - virtual: a test called useVirtual(startNs); nowNs() returns the pinned
+///     value until advance()/set() moves it. The pinned value is >= 1 so the
+///     mode flag and the time share one atomic word (0 = real mode).
+///
+/// Process-wide by design: TTL deadlines are compared across threads, so a
+/// per-thread clock would let one thread expire an entry another thread just
+/// wrote with a "later" deadline. Tests that pin the clock must not run
+/// concurrently with tests that expect real time (gtest runs serially, and
+/// each test restores real mode via useReal()).
+class TtlClock {
+ public:
+  /// Current time in nanoseconds (virtual if pinned, else calibrated tsc).
+  static std::uint64_t nowNs() {
+    const std::uint64_t v = state().load(std::memory_order_acquire);
+    if (v != 0) return v;
+    return static_cast<std::uint64_t>(TscCal::toNs(rdtsc()));
+  }
+  static bool isVirtual() {
+    return state().load(std::memory_order_acquire) != 0;
+  }
+  /// Enter virtual mode at `startNs` (clamped to >= 1; 0 means real mode).
+  static void useVirtual(std::uint64_t startNs = 1) {
+    state().store(startNs == 0 ? 1 : startNs, std::memory_order_release);
+  }
+  /// Advance the virtual clock. Undefined in real mode (checked by callers'
+  /// tests, not here — this header stays assert-free).
+  static void advance(std::uint64_t deltaNs) {
+    state().fetch_add(deltaNs, std::memory_order_acq_rel);
+  }
+  /// Jump the virtual clock to an absolute value (>= 1).
+  static void set(std::uint64_t nowNsValue) {
+    state().store(nowNsValue == 0 ? 1 : nowNsValue,
+                  std::memory_order_release);
+  }
+  /// Leave virtual mode; nowNs() reads the tsc again.
+  static void useReal() { state().store(0, std::memory_order_release); }
+
+ private:
+  static std::atomic<std::uint64_t>& state() {
+    static std::atomic<std::uint64_t> s{0};
+    return s;
   }
 };
 

@@ -313,10 +313,13 @@ TEST(DriverLatency, OpenLoopMeasuresQueueingDelay) {
   EXPECT_GT(r.lat.of(OpCat::kSched).count, 0u);
   EXPECT_GT(r.lat.overall.count, 0u);
   // Throughput tracks the offered rate, not capacity: ~50k ops/sec over
-  // ~50ms is ~2500 ops. Allow wide slop for scheduler noise, but it must be
-  // far below what the closed loop would do (hundreds of thousands).
+  // ~50ms is ~2500 ops. The load-bearing bound is the upper one — an open
+  // loop must land far below what the closed loop would do (hundreds of
+  // thousands). The lower bound only proves the worker made progress; keep
+  // it loose, since on a box busy running the rest of the suite the worker
+  // can lose most of its timeslices to the scheduler.
   EXPECT_LT(r.totalOps, 25000u);
-  EXPECT_GT(r.totalOps, 500u);
+  EXPECT_GT(r.totalOps, 100u);
 }
 
 TEST(DriverLatency, BatchedTrialSplitsSubmittedFromApplied) {

@@ -1,0 +1,232 @@
+// Composite-invariant battery for the multi-index map
+// (structs/multi_index_map.hpp): a primary (key → value) tree and a unique
+// secondary (value → key) tree committed together, one KCAS per update. The
+// checked property is that the two indexes NEVER observably diverge:
+//   1. oracle fuzz against a pair of sequential std::maps (insert rejected
+//      on either a taken key or a taken value; erase/eraseByValue remove the
+//      pair from both sides; range queries over both indexes agree);
+//   2. the agreement scanner: getChecked() snapshots BOTH search paths in
+//      one validated op and aborts if the secondary disagrees with the
+//      primary — threads run it continuously mid-churn;
+//   3. the shared lin_check.hpp windowed stress (runRqLinStress): composite
+//      insert/erase histories must linearize window by window, range
+//      queries included;
+//   4. quiescent checkInvariants(): both trees structurally sound plus the
+//      cross-index bijection (identical pair sets, mirrored).
+// Zero-leak teardown is built into ~MultiIndexMap (drain + liveNodes()==0
+// abort), exercised by every test's destructor.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lin_stress.hpp"
+#include "structs/multi_index_map.hpp"
+#include "util/rand.hpp"
+#include "util/thread_registry.hpp"
+
+namespace pathcas::testing {
+namespace {
+
+using Map = ds::MultiIndexMap<>;
+
+TEST(MultiIndexMap, BasicInsertLookupErase) {
+  Map m;
+  EXPECT_TRUE(m.insert(1, 100));
+  EXPECT_FALSE(m.insert(1, 200));  // key taken
+  EXPECT_FALSE(m.insert(2, 100));  // value taken (secondary uniqueness)
+  EXPECT_TRUE(m.insert(2, 200));
+
+  EXPECT_EQ(m.get(1), std::optional<std::int64_t>(100));
+  EXPECT_EQ(m.getByValue(100), std::optional<std::int64_t>(1));
+  EXPECT_EQ(m.getChecked(1), std::optional<std::int64_t>(100));
+  EXPECT_TRUE(m.contains(2));
+  EXPECT_FALSE(m.contains(3));
+  EXPECT_EQ(m.getChecked(3), std::nullopt);
+  EXPECT_EQ(m.size(), 2u);
+
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_EQ(m.getByValue(100), std::nullopt);  // both sides gone atomically
+
+  EXPECT_TRUE(m.eraseByValue(200));
+  EXPECT_FALSE(m.eraseByValue(200));
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_EQ(m.size(), 0u);
+  m.checkInvariants();
+}
+
+TEST(MultiIndexMap, RangeQueriesOverBothIndexes) {
+  Map m;
+  // Values deliberately reverse the key order so the two indexes sort
+  // differently.
+  for (std::int64_t k = 0; k < 10; ++k) ASSERT_TRUE(m.insert(k, 100 - k));
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> byKey;
+  EXPECT_EQ(m.rangeQuery(2, 5, byKey), 4u);
+  ASSERT_EQ(byKey.size(), 4u);
+  for (std::size_t i = 0; i < byKey.size(); ++i) {
+    EXPECT_EQ(byKey[i].first, static_cast<std::int64_t>(2 + i));
+    EXPECT_EQ(byKey[i].second, 100 - byKey[i].first);
+  }
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> byVal;
+  EXPECT_EQ(m.rangeQueryByValue(95, 98, byVal), 4u);  // values 95..98
+  ASSERT_EQ(byVal.size(), 4u);
+  for (std::size_t i = 0; i < byVal.size(); ++i) {
+    EXPECT_EQ(byVal[i].first, static_cast<std::int64_t>(95 + i));
+    EXPECT_EQ(byVal[i].second, 100 - byVal[i].first);  // (value, key) pairs
+  }
+  m.checkInvariants();
+}
+
+// ---------------------------------------------------------------------------
+// Oracle fuzz vs a pair of sequential maps.
+// ---------------------------------------------------------------------------
+
+TEST(MultiIndexMap, OracleFuzzMatchesSequentialModel) {
+  constexpr std::int64_t kKeys = 96;
+  constexpr std::int64_t kValBase = 1'000;
+  constexpr std::int64_t kVals = 64;  // < kKeys: value collisions are common
+  constexpr int kOps = 40'000;
+  Map m;
+  std::map<std::int64_t, std::int64_t> fwd;
+  std::map<std::int64_t, std::int64_t> rev;
+  Xoshiro256 rng(0x317ull);
+
+  for (int i = 0; i < kOps; ++i) {
+    const std::int64_t k = static_cast<std::int64_t>(rng.nextBounded(kKeys));
+    const std::int64_t v =
+        kValBase + static_cast<std::int64_t>(rng.nextBounded(kVals));
+    const std::uint64_t dice = rng.nextBounded(100);
+    if (dice < 40) {
+      const bool want = !fwd.count(k) && !rev.count(v);
+      ASSERT_EQ(m.insert(k, v), want) << "op " << i;
+      if (want) {
+        fwd[k] = v;
+        rev[v] = k;
+      }
+    } else if (dice < 60) {
+      const auto it = fwd.find(k);
+      ASSERT_EQ(m.erase(k), it != fwd.end()) << "op " << i;
+      if (it != fwd.end()) {
+        rev.erase(it->second);
+        fwd.erase(it);
+      }
+    } else if (dice < 75) {
+      const auto it = rev.find(v);
+      ASSERT_EQ(m.eraseByValue(v), it != rev.end()) << "op " << i;
+      if (it != rev.end()) {
+        fwd.erase(it->second);
+        rev.erase(it);
+      }
+    } else if (dice < 90) {
+      const auto it = fwd.find(k);
+      const auto got = m.getChecked(k);
+      ASSERT_EQ(got.has_value(), it != fwd.end()) << "op " << i;
+      if (got.has_value()) {
+        ASSERT_EQ(*got, it->second) << "op " << i;
+      }
+      const auto back = m.getByValue(v);
+      const auto rit = rev.find(v);
+      ASSERT_EQ(back.has_value(), rit != rev.end()) << "op " << i;
+      if (back.has_value()) {
+        ASSERT_EQ(*back, rit->second) << "op " << i;
+      }
+    } else {
+      std::int64_t lo = static_cast<std::int64_t>(rng.nextBounded(kKeys));
+      std::int64_t hi = lo + static_cast<std::int64_t>(
+                                 rng.nextBounded(kKeys - lo));
+      std::vector<std::pair<std::int64_t, std::int64_t>> got;
+      m.rangeQuery(lo, hi, got);
+      std::vector<std::pair<std::int64_t, std::int64_t>> want(
+          fwd.lower_bound(lo), fwd.upper_bound(hi));
+      ASSERT_EQ(got, want) << "op " << i;
+    }
+    ASSERT_EQ(m.size(), fwd.size()) << "op " << i;
+    if (i % 2'000 == 0) m.checkInvariants();
+  }
+  m.checkInvariants();
+}
+
+// ---------------------------------------------------------------------------
+// The agreement scanner: getChecked() mid-churn. Churners keep the bijection
+// k <-> k + kOffset; scanners snapshot both paths in one validated op. Any
+// observable divergence aborts inside getChecked (PATHCAS_CHECK).
+// ---------------------------------------------------------------------------
+
+TEST(MultiIndexMapConcurrent, ScannerNeverObservesDivergence) {
+  constexpr std::int64_t kKeys = 64;
+  constexpr std::int64_t kOffset = 10'000;
+  constexpr int kChurners = 4;
+  constexpr int kScanners = 2;
+  constexpr int kOpsPerThread = 40'000;
+  Map m;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kChurners; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(0xD17ull + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng.nextBounded(kKeys));
+        const std::uint64_t dice = rng.nextBounded(100);
+        if (dice < 45) {
+          m.insert(k, k + kOffset);
+        } else if (dice < 80) {
+          m.erase(k);
+        } else {
+          m.eraseByValue(k + kOffset);
+        }
+      }
+      stop.store(true, std::memory_order_release);
+    });
+  }
+  for (int t = 0; t < kScanners; ++t) {
+    workers.emplace_back([&, t] {
+      ThreadGuard tg;
+      Xoshiro256 rng(0x5CA11ull + static_cast<std::uint64_t>(t));
+      std::uint64_t scans = 0;
+      while (!stop.load(std::memory_order_acquire) || scans < 1'000) {
+        const std::int64_t k =
+            static_cast<std::int64_t>(rng.nextBounded(kKeys));
+        // One atomic snapshot of both search paths; aborts on divergence.
+        const auto v = m.getChecked(k);
+        if (v.has_value()) {
+          EXPECT_EQ(*v, k + kOffset);
+        }
+        // The reverse direction through the secondary index.
+        const auto back = m.getByValue(k + kOffset);
+        if (back.has_value()) {
+          EXPECT_EQ(*back, k);
+        }
+        ++scans;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  m.checkInvariants();  // quiescent bijection check
+  m.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Shared windowed linearizability stress (same harness as the plain ordered
+// structures): composite insert/erase/contains/rangeQuery histories over a
+// tiny key space must admit a sequential interleaving in every window.
+// ---------------------------------------------------------------------------
+
+TEST(MultiIndexMapLin, WindowedStress) {
+  Map m;
+  runRqLinStress(m, /*threads=*/4, /*rounds=*/2500, /*keySpace=*/8,
+                 /*seed=*/0x313ull);
+}
+
+}  // namespace
+}  // namespace pathcas::testing

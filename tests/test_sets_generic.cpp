@@ -4,7 +4,9 @@
 // the hand-crafted Ellen / ticket-lock external BSTs, and the sharded
 // service frontend (service/sharded_map.hpp) at shard counts {1, 2, 8} —
 // the fixed-shard adapters partition a 256-key space, so the suite's keys
-// land astride shard boundaries.
+// land astride shard boundaries — and the cross-structure multi-index map
+// composite (every mutation a two-tree KCAS; values here are distinct per
+// key, so its secondary-uniqueness rule never rejects a set-style insert).
 //
 // Covers: empty-set behaviour, insert/erase/contains semantics against a
 // std::set oracle, duplicate handling, interleaved grow/shrink cycles, and a
@@ -36,7 +38,7 @@ using AllSets = ::testing::Types<
     TmAvlAdapter<stm::GlobalLockTm>, TmExtBstAdapter<stm::Elastic>,
     TmExtBstAdapter<stm::NOrec>, McmsBstAdapter<false>, McmsBstAdapter<true>,
     ShardedBstAdapter<1>, ShardedBstAdapter<2>, ShardedBstAdapter<8>,
-    ShardedAvlAdapter<2>>;
+    ShardedAvlAdapter<2>, MultiIndexMapAdapter>;
 
 class SetNames {
  public:
