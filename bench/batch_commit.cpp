@@ -137,12 +137,14 @@ double stagingMicro(const char* algo) {
   cfg.batch = 8;
   TrialResult r{};
   r.totalOps = n;
+  r.opsOffered = n;  // closed loop: offered == executed, nothing shed
   r.opsApplied = n;  // the micro submits no window, so every op executes
   r.minThreadOps = n;
   r.maxThreadOps = n;
   r.elapsedSec = sec;
   r.mops = sec > 0.0 ? static_cast<double>(n) / sec / 1e6 : 0.0;
   r.mopsApplied = r.mops;
+  r.goodputMops = r.mops;
   r.cyclesPerOp =
       n > 0 ? static_cast<double>(c1 - c0) / static_cast<double>(n) : 0.0;
   r.nsPerOp = n > 0 ? TscCal::toNs(c1 - c0) / static_cast<double>(n) : 0.0;

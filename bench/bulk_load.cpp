@@ -49,8 +49,10 @@ void emitJson(const std::string& algo, const TrialConfig& cfg,
               std::size_t nkeys, double seconds, bool ok) {
   TrialResult r;
   r.totalOps = nkeys;
+  r.opsOffered = nkeys;  // closed loop: offered == executed, nothing shed
   r.elapsedSec = seconds;
   r.mops = static_cast<double>(nkeys) / seconds / 1e6;  // Mkeys/s here
+  r.goodputMops = r.mops;
   r.inserts = nkeys;
   r.keysumOk = ok;
   jsonAppendTrial("bulk_load", algo, cfg, r);

@@ -198,9 +198,11 @@ TrialResult runCacheTrial(const TrialConfig& cfg, std::int64_t capacity,
     out->invals += s.c.invals;
   }
   r.opsApplied = r.totalOps;
+  r.opsOffered = r.totalOps;  // closed loop: offered == executed
   r.elapsedSec = elapsed;
   r.mops = static_cast<double>(r.totalOps) / elapsed / 1e6;
   r.mopsApplied = r.mops;
+  r.goodputMops = r.mops;
   r.nsPerOp = r.totalOps ? TscCal::toNs(cycles) /
                                static_cast<double>(r.totalOps)
                          : 0.0;

@@ -9,8 +9,9 @@
 #
 # The gate (scripts/bench_compare.py --threshold-pct 15) joins rows on the
 # full workload identity — experiment, algo, threads, shards, batch,
-# combine_window, key_range, dist, mix, arrival, update_pct, rq_pct,
-# rq_size — so the baseline must come from these configs verbatim; a drifted
+# combine_window, key_range, dist, mix, arrival, qdepth, deadline_ns,
+# update_pct, rq_pct, rq_size — so the baseline must come from these configs
+# verbatim; a drifted
 # config shows up as unmatched rows, not a bogus pass. Latency recording is
 # on (PATHCAS_BENCH_LATENCY=1) so the rows carry p50/p99/p999 columns and
 # the gate covers p99 latency alongside throughput.
@@ -23,7 +24,7 @@ out="BENCH_baseline.json"
 # schema change. Override with BASELINE_REPEATS=1 for a quick refresh.
 repeats="${BASELINE_REPEATS:-3}"
 
-for bench in skew_sweep batch_commit cache_workload; do
+for bench in skew_sweep batch_commit cache_workload overload_profile; do
   if [[ ! -x "$build_dir/bench/$bench" ]]; then
     echo "error: $build_dir/bench/$bench not built (cmake --build $build_dir)" >&2
     exit 1
@@ -53,6 +54,17 @@ for ((rep = 0; rep < repeats; ++rep)); do
   PATHCAS_BENCH_LATENCY=1 \
   PATHCAS_BENCH_JSON="$out" \
     "$build_dir/bench/cache_workload" >/dev/null
+
+  # PATHCAS_BENCH_CAPACITY pins the capacity probe so the derived open-loop
+  # arrival labels — part of the bench_compare join key — match CI's verbatim.
+  PATHCAS_BENCH_THREADS=2 \
+  PATHCAS_BENCH_BATCH=1,64 \
+  PATHCAS_BENCH_SHARDS=2 \
+  PATHCAS_BENCH_CAPACITY=400000 \
+  PATHCAS_BENCH_QDEPTH=256 \
+  PATHCAS_BENCH_DEADLINE=2000000 \
+  PATHCAS_BENCH_JSON="$out" \
+    "$build_dir/bench/overload_profile" >/dev/null
 done
 
 echo "wrote $(wc -l <"$out") baseline rows to $out ($repeats repeats)"

@@ -4,16 +4,27 @@
 Every bench driver appends one JSON object per trial when PATHCAS_BENCH_JSON
 is set (schema: docs/BENCHMARKING.md). This tool joins two such files on the
 trial identity — (experiment, algo, threads, shards, batch, combine_window,
-key_range, dist, mix, arrival, update_pct, rq_pct, rq_size); rows from files
-predating a field join on its default (shards=1, batch=1, combine_window=0,
-arrival="closed") — averages duplicate rows (re-runs), and reports two
-per-cell deltas:
+key_range, dist, mix, arrival, qdepth, deadline_ns, update_pct, rq_pct,
+rq_size); rows from files predating a field join on its default (shards=1,
+batch=1, combine_window=0, arrival="closed", qdepth=0, deadline_ns=0, i.e.
+closed-loop / no admission control) — averages duplicate rows (re-runs), and
+reports three per-cell deltas:
 
   * `mops`  — fails when throughput DROPS by more than --threshold-pct;
+  * `goodput_mops` — fails when goodput (ops completed within the admission
+    deadline per second) DROPS by more than --threshold-pct. Only gated
+    where both files carry the field, so baselines predating admission
+    control keep working.
   * `p99_ns` — fails when the overall p99 op latency RISES by more than
     --threshold-pct. Only gated where both files carry the field (trials run
     with PATHCAS_BENCH_LATENCY=1), so baselines predating latency recording
     keep working.
+
+Rows carrying the full admission accounting (ops_offered / ops_admitted /
+ops_shed / ops_rejected) are also checked for the accounting identity
+`offered == admitted + shed + rejected`; a violating row is a parse error
+(exit 2) — it means the emitting driver miscounted, and any comparison
+against it would be meaningless.
 
 The repo's CI runs it as a soft gate (--threshold-pct 15) against the
 committed BENCH_baseline.json, regenerated from the same pinned smoke
@@ -46,6 +57,8 @@ KEY_FIELDS = (
     "dist",
     "mix",
     "arrival",
+    "qdepth",
+    "deadline_ns",
     "update_pct",
     "rq_pct",
     "rq_size",
@@ -58,15 +71,24 @@ DEFAULT_FIELDS = {
     "batch": 1,
     "combine_window": 0,
     "arrival": "closed",
+    "qdepth": 0,
+    "deadline_ns": 0,
 }
+
+# Admission accounting (docs/BENCHMARKING.md, "Overload and goodput"): when a
+# row carries all four counters they must satisfy the identity.
+ACCOUNTING_FIELDS = ("ops_offered", "ops_admitted", "ops_shed", "ops_rejected")
 
 
 def load(path):
-    """Return {trial-key: (mean mops, mean p99_ns or None)} for a bench file."""
+    """Return {trial-key: (mean mops, mean p99_ns or None, mean goodput_mops
+    or None)} for a bench file."""
     mops_sums = defaultdict(float)
     mops_counts = defaultdict(int)
     p99_sums = defaultdict(float)
     p99_counts = defaultdict(int)
+    good_sums = defaultdict(float)
+    good_counts = defaultdict(int)
     try:
         with open(path, "r", encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
@@ -88,23 +110,42 @@ def load(path):
                 except KeyError as e:
                     print(f"{path}:{lineno}: missing field {e}", file=sys.stderr)
                     sys.exit(2)
+                if all(k in row for k in ACCOUNTING_FIELDS):
+                    offered, admitted, shed, rejected = (
+                        int(row[k]) for k in ACCOUNTING_FIELDS
+                    )
+                    if offered != admitted + shed + rejected:
+                        print(
+                            f"{path}:{lineno}: admission accounting identity "
+                            f"violated: offered={offered} != "
+                            f"admitted={admitted} + shed={shed} + "
+                            f"rejected={rejected}",
+                            file=sys.stderr,
+                        )
+                        sys.exit(2)
                 mops_sums[key] += mops
                 mops_counts[key] += 1
                 if "p99_ns" in row:
                     p99_sums[key] += float(row["p99_ns"])
                     p99_counts[key] += 1
+                if "goodput_mops" in row:
+                    good_sums[key] += float(row["goodput_mops"])
+                    good_counts[key] += 1
     except OSError as e:
         print(f"cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
     out = {}
     for k in mops_sums:
         p99 = p99_sums[k] / p99_counts[k] if p99_counts[k] else None
-        out[k] = (mops_sums[k] / mops_counts[k], p99)
+        good = good_sums[k] / good_counts[k] if good_counts[k] else None
+        out[k] = (mops_sums[k] / mops_counts[k], p99, good)
     return out
 
 
 def fmt_key(key):
     d = dict(zip(KEY_FIELDS, key))
+    # qdepth/deadline are already embedded in the arrival label when set
+    # (poisson:<rate>:q<depth>:d<ns>), so the label stays compact.
     return (
         f"{d['experiment']}/{d['algo']} t={d['threads']} s={d['shards']} "
         f"b={d['batch']} cw={d['combine_window']} "
@@ -167,9 +208,10 @@ def main():
     only_new = sorted(set(new) - set(base))
 
     regressions = []
-    print(f"{'mops%':>8} {'p99%':>8}  {'base':>9}  {'new':>9}  trial")
+    print(f"{'mops%':>8} {'good%':>8} {'p99%':>8}  {'base':>9}  {'new':>9}  "
+          "trial")
     for key in shared:
-        (b, b_p99), (n, n_p99) = base[key], new[key]
+        (b, b_p99, b_good), (n, n_p99, n_good) = base[key], new[key]
         if b < args.min_mops:
             continue
         delta = (n - b) / b * 100.0
@@ -180,23 +222,36 @@ def main():
             and b_p99 >= args.min_p99_ns
         ):
             p99_delta = (n_p99 - b_p99) / b_p99 * 100.0
+        # Goodput gates like throughput: a drop means deadline-meeting work
+        # was lost (more shedding, slower service, or both).
+        good_delta = None
+        if (
+            b_good is not None
+            and n_good is not None
+            and b_good >= args.min_mops
+        ):
+            good_delta = (n_good - b_good) / b_good * 100.0
         why = []
         if delta < -args.threshold_pct:
             why.append(f"mops {delta:+.1f}%")
+        if good_delta is not None and good_delta < -args.threshold_pct:
+            why.append(f"goodput {good_delta:+.1f}%")
         if p99_delta is not None and p99_delta > args.p99_threshold_pct:
             why.append(f"p99 {p99_delta:+.1f}%")
         marker = "  << REGRESSION" if why else ""
         if why:
             regressions.append((key, ", ".join(why)))
         p99_col = f"{p99_delta:+8.1f}" if p99_delta is not None else f"{'-':>8}"
-        print(f"{delta:+8.1f} {p99_col}  {b:9.3f}  {n:9.3f}  "
+        good_col = (f"{good_delta:+8.1f}" if good_delta is not None
+                    else f"{'-':>8}")
+        print(f"{delta:+8.1f} {good_col} {p99_col}  {b:9.3f}  {n:9.3f}  "
               f"{fmt_key(key)}{marker}")
 
     for key in only_base:
-        print(f"    gone           {base[key][0]:9.3f}  {'-':>9}  "
+        print(f"    gone                    {base[key][0]:9.3f}  {'-':>9}  "
               f"{fmt_key(key)}")
     for key in only_new:
-        print(f"     new           {'-':>9}  {new[key][0]:9.3f}  "
+        print(f"     new                    {'-':>9}  {new[key][0]:9.3f}  "
               f"{fmt_key(key)}")
 
     if not shared:

@@ -246,12 +246,17 @@ struct ShardedAdapterBase {
   void checkInvariants() const { map.checkInvariants(); }
   double avgKeyDepth() const { return 0.0; }  // per-shard depths, not pooled
   std::uint64_t footprintBytes() const { return map.footprintBytes(); }
+  std::uint64_t rqRetries() const { return map.rqRetries(); }
+  std::vector<double> shardSchedP99Ns() const { return map.shardSchedP99Ns(); }
 
  private:
   static typename service::ShardedMap<Tree>::Config shardConfig(
       const bench::TrialConfig& cfg) {
     typename service::ShardedMap<Tree>::Config c;
     c.combineWindow = cfg.combineWindow;
+    // Latency trials pay for per-shard combiner-queueing histograms so the
+    // sched column can be attributed shard-by-shard.
+    c.combineStats = cfg.latency;
     return c;
   }
 };

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_fw/admission.hpp"
 #include "bench_fw/latency.hpp"
 #include "bench_fw/workload.hpp"
 #include "recl/ebr.hpp"
@@ -95,7 +96,21 @@ struct TrialConfig {
   /// measured from each op's *scheduled* arrival so coordinated omission
   /// shows up as queueing delay instead of vanishing.
   /// PATHCAS_BENCH_ARRIVAL carries the same grammar (applyEnvArrival).
+  /// `arrival.qdepth` / `arrival.deadlineNs` add admission control on top:
+  /// a bounded per-worker queue (arrivals rejected at the bound) and a
+  /// queue-wait deadline past which queued ops are shed before execution
+  /// (bench_fw/admission.hpp). PATHCAS_BENCH_QDEPTH / PATHCAS_BENCH_DEADLINE
+  /// override them (applyEnvAdmission).
   ArrivalSpec arrival;
+  /// Flush deadline for the batching netting window, in nanoseconds: a
+  /// partially filled window is flushed once its oldest buffered op is this
+  /// old, and the window width adapts — shrink under deadline pressure,
+  /// regrow under headroom (bench_fw/admission.hpp, AdaptiveFlushPolicy).
+  /// 0 defers to the admission deadline (arrival.deadlineNs) when one is
+  /// set; with neither, windows flush only when full (the pre-adaptive
+  /// behavior, where a cold window could hold an op indefinitely at low
+  /// offered rate). PATHCAS_BENCH_FLUSH_DEADLINE overrides.
+  std::int64_t flushDeadlineNs = 0;
 };
 
 struct TrialResult {
@@ -139,6 +154,26 @@ struct TrialResult {
   /// Structure memory at trial end (pool counters), when the structure
   /// exposes footprintBytes(); 0 otherwise.
   std::uint64_t footprintBytes = 0;
+  /// Admission accounting (bench_fw/admission.hpp). The identity
+  ///   opsOffered == totalOps + opsShed + opsRejected
+  /// holds exactly in every trial (checked in runTrial): totalOps IS the
+  /// admitted count — one executed op per admit. Closed loop (and open loop
+  /// without admission) degenerates to opsOffered == totalOps, rest 0.
+  std::uint64_t opsOffered = 0;
+  std::uint64_t opsShed = 0;      // queued past the deadline, dropped
+  std::uint64_t opsRejected = 0;  // arrived at a full queue, dropped
+  /// Million ops/sec that completed within the admission deadline — the
+  /// y-axis of a goodput-vs-offered-load curve. Equals mops when no
+  /// deadline is configured (every completed op is good).
+  double goodputMops = 0.0;
+  /// Netting-window flushes by trigger: the flush deadline firing on a
+  /// partial window vs. the window filling to its adaptive width.
+  std::uint64_t deadlineFlushes = 0, fullFlushes = 0;
+  /// Cross-shard range-query retries (HasRqRetries structures); 0 otherwise.
+  std::uint64_t rqRetries = 0;
+  /// Per-shard combiner queueing p99 in ns (HasShardSched structures, with
+  /// latency recording on); empty otherwise. Index = shard id.
+  std::vector<double> shardSchedP99Ns;
 };
 
 /// Apply a named mix preset to a config (fracs + mix name + rqSize for
@@ -225,8 +260,9 @@ inline bool applyEnvLatency(TrialConfig& cfg) {
 }
 
 /// PATHCAS_BENCH_ARRIVAL override (grammar: ArrivalSpec::parse — "closed"
-/// or "poisson:<opsPerSec>"). Returns true iff a well-formed spec was
-/// applied; malformed values warn on stderr and leave the config unchanged.
+/// or "poisson:<opsPerSec>[:q<qdepth>][:d<deadlineNs>]"). Returns true iff a
+/// well-formed spec was applied; malformed values warn on stderr and leave
+/// the config unchanged.
 inline bool applyEnvArrival(TrialConfig& cfg) {
   const char* a = std::getenv("PATHCAS_BENCH_ARRIVAL");
   if (a == nullptr || *a == '\0') return false;
@@ -236,7 +272,7 @@ inline bool applyEnvArrival(TrialConfig& cfg) {
       warned = true;
       std::fprintf(stderr,
                    "ignoring malformed PATHCAS_BENCH_ARRIVAL=\"%s\" (want "
-                   "closed | poisson:<opsPerSec>)\n",
+                   "closed | poisson:<opsPerSec>[:q<qdepth>][:d<ns>])\n",
                    a);
     }
     return false;
@@ -244,7 +280,43 @@ inline bool applyEnvArrival(TrialConfig& cfg) {
   return true;
 }
 
-/// All four environment overrides, honoured by every bench that goes
+/// Admission-control knobs: PATHCAS_BENCH_QDEPTH (per-worker queue bound),
+/// PATHCAS_BENCH_DEADLINE (queue-wait shed deadline, ns) and
+/// PATHCAS_BENCH_FLUSH_DEADLINE (netting-window flush deadline, ns). The
+/// first two land in cfg.arrival and take effect only for open-loop
+/// arrivals; 0 disables each. Returns true iff any knob was applied;
+/// malformed values warn on stderr and are ignored.
+inline bool applyEnvAdmission(TrialConfig& cfg) {
+  bool any = false;
+  const auto knob = [&any](const char* name, auto&& apply) {
+    const char* v = std::getenv(name);
+    if (v == nullptr || *v == '\0') return;
+    std::int64_t parsed = 0;
+    if (detail::parseInt64(v, &parsed) && parsed >= 0) {
+      apply(parsed);
+      any = true;
+    } else {
+      static bool warned = false;  // once per process, not per sweep cell
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "ignoring malformed %s=\"%s\" (want a non-negative "
+                     "integer)\n",
+                     name, v);
+      }
+    }
+  };
+  knob("PATHCAS_BENCH_QDEPTH", [&cfg](std::int64_t v) {
+    cfg.arrival.qdepth = static_cast<int>(std::min<std::int64_t>(v, INT32_MAX));
+  });
+  knob("PATHCAS_BENCH_DEADLINE",
+       [&cfg](std::int64_t v) { cfg.arrival.deadlineNs = v; });
+  knob("PATHCAS_BENCH_FLUSH_DEADLINE",
+       [&cfg](std::int64_t v) { cfg.flushDeadlineNs = v; });
+  return any;
+}
+
+/// All the environment overrides, honoured by every bench that goes
 /// through sweepThreads (and applied explicitly by the benches that drive
 /// runTrial themselves). Benches whose mix IS the experiment's axis
 /// (fig06's update-vs-search columns) apply only applyEnvDist.
@@ -253,6 +325,7 @@ inline void applyEnvWorkload(TrialConfig& cfg) {
   applyEnvMix(cfg);
   applyEnvLatency(cfg);
   applyEnvArrival(cfg);
+  applyEnvAdmission(cfg);
 }
 
 /// One-line workload description for bench headers, e.g.
@@ -308,6 +381,22 @@ concept HasUpdateBatch =
         s.updateBatch(ks, vs, ins, n, out)
       } -> std::convertible_to<std::size_t>;
     };
+
+/// Structures surfacing their cross-shard range-query retry counter
+/// (service/sharded_map.hpp): livelock under churn becomes an observable
+/// per-trial `rq_retries` column instead of silent spinning.
+template <typename Set>
+concept HasRqRetries = requires(const Set s) {
+  { s.rqRetries() } -> std::convertible_to<std::uint64_t>;
+};
+
+/// Structures exposing per-shard combiner-queueing p99s (ns): the driver
+/// lifts them into TrialResult::shardSchedP99Ns so combiner queueing is
+/// attributable shard-by-shard in the JSON output.
+template <typename Set>
+concept HasShardSched = requires(const Set s) {
+  { s.shardSchedP99Ns() } -> std::convertible_to<std::vector<double>>;
+};
 
 /// Benchmark scale, from PATHCAS_BENCH_SCALE ("quick" default, "full" for
 /// paper-scale key ranges and durations).
@@ -367,6 +456,10 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
     std::uint64_t rqs = 0, rqKeys = 0;
     std::int64_t keysumDelta = 0;
     std::uint64_t cycles = 0;
+    // Admission accounting (== ops/0/0/ops without admission control) and
+    // deadline-good completions; flush counts by trigger.
+    std::uint64_t offered = 0, shed = 0, rejected = 0, good = 0;
+    std::uint64_t deadlineFlushes = 0, fullFlushes = 0;
   };
   if constexpr (!HasRangeQuery<Set>) {
     PATHCAS_CHECK(cfg.rqFrac == 0.0 &&
@@ -434,7 +527,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       // Reads stay immediate.
       struct WinOp {
         std::int64_t key, val;
-        std::uint64_t t0;   // latency origin at submission (0: recording off)
+        std::uint64_t t0Ns;      // latency origin ns (0: not sampled)
+        std::uint64_t arrivalNs; // scheduled arrival ns (0: no deadline)
         std::uint32_t seq;  // submission order: tiebreak so last-op-wins
         bool isInsert;
       };
@@ -452,9 +546,35 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
         outBuf = std::make_unique<bool[]>(batchW);
         insFlag = std::make_unique<bool[]>(batchW);
       }
-      auto flushBatches = [&](LatencyRecorder* rec) {
+      // Arrival/admission mode flags. Open-loop time runs in NANOSECONDS
+      // through TtlClock (real mode: calibrated tsc; virtual mode: the test
+      // clock), so admission and flush-deadline decisions are deterministic
+      // under a pinned virtual clock. The closed-loop unbatched hot path
+      // keeps its raw-rdtsc timing untouched.
+      const bool openLoop = cfg.arrival.open;
+      const int qdepth = cfg.arrival.qdepth;
+      const std::int64_t deadlineNs = cfg.arrival.deadlineNs;
+      const bool admission = openLoop && (qdepth > 0 || deadlineNs > 0);
+      const bool trackDeadline = openLoop && deadlineNs > 0;
+      // Flush deadline: the explicit knob first, else inherit the admission
+      // deadline — an op the client would shed for queue-waiting must not
+      // sit just as long in a cold netting window.
+      const std::int64_t effFlushDeadlineNs =
+          cfg.flushDeadlineNs > 0 ? cfg.flushDeadlineNs
+                                  : (trackDeadline ? deadlineNs : 0);
+      AdaptiveFlushPolicy flushPol(
+          batchW, effFlushDeadlineNs > 0
+                      ? static_cast<std::uint64_t>(effFlushDeadlineNs)
+                      : 0);
+      const bool flushTimed = batching && flushPol.timed();
+      enum class FlushCause { kFull, kDeadline, kDrain };
+      auto flushBatches = [&](LatencyRecorder* rec, FlushCause cause) {
         if constexpr (HasBatchOps<Set>) {
           if (winBuf.empty()) return;
+          // Adapt the window width by what triggered the flush; the stop
+          // drain is neither pressure nor headroom and adapts nothing.
+          if (cause == FlushCause::kFull) flushPol.noteFull();
+          else if (cause == FlushCause::kDeadline) flushPol.noteDeadline();
           // std::sort with a (key, seq) compare: stable_sort's per-call
           // buffer allocation is measurable at small window sizes.
           std::sort(winBuf.begin(), winBuf.end(),
@@ -519,28 +639,58 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
             }
           }
           // Every op in the window — survivor or annihilated — completes at
-          // the flush; a sampled op's latency (t0 != 0) runs from its
+          // the flush; a sampled op's latency (t0Ns != 0) runs from its
           // submission (closed loop) or scheduled arrival (open loop) to
           // now, so window fill time is measured as the serving latency it
-          // really is. Unsampled ops carry t0 == 0 and are skipped.
-          if (rec != nullptr) {
-            const std::uint64_t tEnd = rdtsc();
-            for (const WinOp& op : winBuf)
-              if (op.t0 != 0)
+          // really is. Unsampled ops carry t0Ns == 0 and are skipped. With
+          // an admission deadline, each op counts toward goodput iff it
+          // completed (at this flush) within its deadline.
+          if (rec != nullptr || trackDeadline) {
+            const std::uint64_t tEndNs = TtlClock::nowNs();
+            for (const WinOp& op : winBuf) {
+              if (rec != nullptr && op.t0Ns != 0) {
+                const std::uint64_t durNs =
+                    tEndNs > op.t0Ns ? tEndNs - op.t0Ns : 0;
                 rec->record(op.isInsert ? OpCat::kInsert : OpCat::kErase,
-                            tEnd - op.t0);
+                            static_cast<std::uint64_t>(durNs * ticksPerNs));
+              }
+              if (trackDeadline && tEndNs >= op.arrivalNs &&
+                  tEndNs - op.arrivalNs <=
+                      static_cast<std::uint64_t>(deadlineNs))
+                ++my.good;
+            }
           }
           winBuf.clear();
         } else {
           (void)rec;
+          (void)cause;
         }
       };
 
       LatencyRecorder* rec =
           cfg.latency ? &recs[static_cast<std::size_t>(t)] : nullptr;
-      const bool openLoop = cfg.arrival.open;
       ArrivalGen arrivals(
           openLoop ? cfg.arrival.ratePerSec / cfg.threads : 1.0, cfg.seed, t);
+      AdmissionQueue aq(qdepth, deadlineNs);
+
+      // Buffer one update into the netting window: stamp the window-open
+      // instant for the flush deadline, then flush on width (adaptive) or,
+      // for a window whose oldest op just aged out, on the deadline.
+      auto bufferUpdate = [&](std::int64_t key, bool isInsert, bool sampled,
+                              std::uint64_t arrivalNs) {
+        std::uint64_t nowNs = 0;
+        if (flushTimed || (sampled && !openLoop)) nowNs = TtlClock::nowNs();
+        if (flushTimed && winBuf.empty()) flushPol.windowOpened(nowNs);
+        const std::uint64_t t0Ns =
+            sampled ? (openLoop ? arrivalNs : nowNs) : 0;
+        winBuf.push_back({key, key, t0Ns, trackDeadline ? arrivalNs : 0,
+                          static_cast<std::uint32_t>(winBuf.size()),
+                          isInsert});
+        if (winBuf.size() >= flushPol.window())
+          flushBatches(rec, FlushCause::kFull);
+        else if (flushTimed && flushPol.deadlineExpired(nowNs))
+          flushBatches(rec, FlushCause::kDeadline);
+      };
 
       // Sampled recording: every 2^latSampleShift-th op (per thread) is
       // timed; the rest run untouched. The stride counter is deterministic
@@ -554,37 +704,73 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
       ready.fetch_add(1);
       while (!go.load(std::memory_order_acquire)) cpuRelax();
       const std::uint64_t c0 = rdtsc();
-      // Open loop: the next scheduled arrival, in rdtsc ticks. Arrivals
-      // advance in VIRTUAL time, independent of service progress: a worker
-      // that falls behind keeps the (past) scheduled instants as latency
-      // origins, so backlog is measured as queueing delay — the
-      // coordinated-omission fix — instead of silently stretching the
-      // arrival schedule.
-      std::uint64_t nextArrival = c0;
+      // Open loop: the next not-yet-consumed scheduled arrival, in
+      // TtlClock nanoseconds. Arrivals advance in VIRTUAL time, independent
+      // of service progress: a worker that falls behind keeps the (past)
+      // scheduled instants as latency origins, so backlog is measured as
+      // queueing delay — the coordinated-omission fix — instead of silently
+      // stretching the arrival schedule. With admission control, every due
+      // arrival is materialized into the bounded queue first, so overload
+      // becomes rejections (full queue) and sheds (deadline) instead of an
+      // unbounded implicit backlog.
+      std::uint64_t pendingArrivalNs = 0;
+      if (openLoop)
+        pendingArrivalNs = TtlClock::nowNs() +
+                           static_cast<std::uint64_t>(arrivals.nextGapNs());
       while (!stop.load(std::memory_order_relaxed)) {
         const std::int64_t k = keys.next();
         const std::uint64_t dice = rng.nextBounded(1000000000ULL);
         const bool sampled =
             rec != nullptr && (sampleCtr++ & sampleMask) == 0;
-        // Latency origin: the op's scheduled arrival in open loop (queueing
-        // included), the pre-op instant in closed loop.
-        std::uint64_t opStart = 0;
+        // Latency origin: the op's scheduled arrival (ns) in open loop
+        // (queueing included), the pre-op rdtsc instant in closed loop.
+        std::uint64_t opStartTicks = 0;
+        std::uint64_t arrivalNs = 0;
         if (openLoop) {
-          nextArrival += static_cast<std::uint64_t>(arrivals.nextGapNs() *
-                                                    ticksPerNs);
-          std::uint64_t now = rdtsc();
-          while (now < nextArrival &&
-                 !stop.load(std::memory_order_relaxed)) {
+          bool got = false;
+          std::uint64_t nowNs = TtlClock::nowNs();
+          while (!got) {
+            if (admission) {
+              // Materialize every due arrival, then serve the queue front:
+              // reject at the bound, shed past the deadline, admit the rest.
+              while (pendingArrivalNs <= nowNs) {
+                aq.offer(pendingArrivalNs);
+                pendingArrivalNs +=
+                    static_cast<std::uint64_t>(arrivals.nextGapNs());
+              }
+              const AdmissionQueue::Pop res = aq.pop(nowNs, &arrivalNs);
+              if (res == AdmissionQueue::Pop::kAdmit) {
+                got = true;
+                break;
+              }
+              if (res == AdmissionQueue::Pop::kShed) continue;  // next op
+            } else if (nowNs >= pendingArrivalNs) {
+              arrivalNs = pendingArrivalNs;
+              pendingArrivalNs +=
+                  static_cast<std::uint64_t>(arrivals.nextGapNs());
+              got = true;
+              break;
+            }
+            // Idle until the next scheduled arrival. A timed partial window
+            // still flushes when its oldest op ages out — the cold-window
+            // hang fix: at 1 op/s a buffered update no longer waits for the
+            // window to fill (or the trial to end) to execute.
+            if (stop.load(std::memory_order_relaxed)) break;
+            if (flushTimed && !winBuf.empty() &&
+                flushPol.deadlineExpired(nowNs))
+              flushBatches(rec, FlushCause::kDeadline);
             cpuRelax();
-            now = rdtsc();
+            nowNs = TtlClock::nowNs();
           }
-          if (now < nextArrival) break;  // stopped while idle pre-arrival
+          if (!got) break;  // stopped while idle pre-arrival
           if (sampled) {
-            rec->record(OpCat::kSched, now - nextArrival);
-            opStart = nextArrival;
+            const std::uint64_t waitNs =
+                nowNs > arrivalNs ? nowNs - arrivalNs : 0;
+            rec->record(OpCat::kSched,
+                        static_cast<std::uint64_t>(waitNs * ticksPerNs));
           }
         } else if (sampled) {
-          opStart = rdtsc();
+          opStartTicks = rdtsc();
         }
         OpCat cat = OpCat::kFind;
         bool buffered = false;
@@ -592,11 +778,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
           cat = OpCat::kInsert;
           if constexpr (HasBatchOps<Set>) {
             if (batching) {
-              winBuf.push_back({k, k, opStart,
-                                static_cast<std::uint32_t>(winBuf.size()),
-                                true});
+              bufferUpdate(k, true, sampled, arrivalNs);
               buffered = true;
-              if (winBuf.size() >= batchW) flushBatches(rec);
             }
           }
           if (!buffered && set.insert(k, k)) {
@@ -608,11 +791,8 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
           cat = OpCat::kErase;
           if constexpr (HasBatchOps<Set>) {
             if (batching) {
-              winBuf.push_back({k, k, opStart,
-                                static_cast<std::uint32_t>(winBuf.size()),
-                                false});
+              bufferUpdate(k, false, sampled, arrivalNs);
               buffered = true;
-              if (winBuf.size() >= batchW) flushBatches(rec);
             }
           }
           if (!buffered && set.erase(k)) my.keysumDelta -= k;
@@ -630,16 +810,45 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
           ++my.finds;
         }
         ++my.ops;
-        if (!buffered) ++my.opsApplied;
-        // Buffered submissions complete (and record) at their flush.
-        if (sampled && !buffered) rec->record(cat, rdtsc() - opStart);
+        // Buffered submissions complete (record + goodput) at their flush.
+        if (!buffered) {
+          ++my.opsApplied;
+          if (openLoop) {
+            if (sampled || trackDeadline) {
+              const std::uint64_t endNs = TtlClock::nowNs();
+              const std::uint64_t durNs =
+                  endNs > arrivalNs ? endNs - arrivalNs : 0;
+              if (sampled)
+                rec->record(cat,
+                            static_cast<std::uint64_t>(durNs * ticksPerNs));
+              if (trackDeadline &&
+                  durNs <= static_cast<std::uint64_t>(deadlineNs))
+                ++my.good;
+            }
+          } else if (sampled) {
+            rec->record(cat, rdtsc() - opStartTicks);
+          }
+        }
       }
       // Stop the per-thread clock BEFORE the post-stop drain: my.cycles
       // covers exactly the timed window, so ns/op and cycles/op no longer
       // skew with batch width (the drain is reported separately as
       // TrialResult::drainSec).
       my.cycles = rdtsc() - c0;
-      flushBatches(rec);  // settle outstanding updates so keysum stays exact
+      // Settle outstanding updates so keysum stays exact.
+      flushBatches(rec, FlushCause::kDrain);
+      if (admission) {
+        // Everything still queued at stop is shed; the accounting identity
+        // offered == admitted(executed) + shed + rejected is then exact.
+        aq.shedRemaining();
+        my.offered = aq.offered();
+        my.shed = aq.shed();
+        my.rejected = aq.rejected();
+      } else {
+        my.offered = my.ops;  // closed loop / plain open loop: all executed
+      }
+      my.deadlineFlushes = flushPol.deadlineFlushes();
+      my.fullFlushes = flushPol.fullFlushes();
     });
   }
   while (ready.load() != cfg.threads) std::this_thread::yield();
@@ -658,6 +867,7 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   TrialResult r;
   std::int64_t expected = prefillSum;
   std::uint64_t cycles = 0;
+  std::uint64_t goodOps = 0;
   r.minThreadOps = stats.empty() ? 0 : stats.front().ops;
   for (const auto& s : stats) {
     r.totalOps += s.ops;
@@ -671,7 +881,17 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
     r.maxThreadOps = std::max(r.maxThreadOps, s.ops);
     expected += s.keysumDelta;
     cycles += s.cycles;
+    r.opsOffered += s.offered;
+    r.opsShed += s.shed;
+    r.opsRejected += s.rejected;
+    goodOps += s.good;
+    r.deadlineFlushes += s.deadlineFlushes;
+    r.fullFlushes += s.fullFlushes;
   }
+  // The admission accounting identity holds in every trial — JSON rows are
+  // emitted only from results that passed this check.
+  PATHCAS_CHECK(r.opsOffered == r.totalOps + r.opsShed + r.opsRejected &&
+                "admission accounting identity violated");
   r.elapsedSec = elapsed;
   r.drainSec = drain;
   r.mops = static_cast<double>(r.totalOps) / elapsed / 1e6;
@@ -682,11 +902,21 @@ TrialResult runTrial(Set& set, const TrialConfig& cfg,
   r.cyclesPerOp = r.totalOps ? static_cast<double>(cycles) /
                                    static_cast<double>(r.totalOps)
                              : 0.0;
+  // Goodput: without a deadline every completed op is good (goodput ==
+  // throughput); with one, only ops that completed within it count.
+  const std::uint64_t good =
+      (cfg.arrival.open && cfg.arrival.deadlineNs > 0) ? goodOps : r.totalOps;
+  r.goodputMops =
+      elapsed > 0.0 ? static_cast<double>(good) / elapsed / 1e6 : 0.0;
   if (cfg.latency)
     r.lat = summarizeLatency(recs.data(), cfg.threads, nsPerTick);
   r.keysumOk = (set.keySum() == expected);
   PATHCAS_CHECK(r.keysumOk && "keysum validation failed — correctness bug");
   if constexpr (HasFootprint<Set>) r.footprintBytes = set.footprintBytes();
+  if constexpr (HasRqRetries<Set>) r.rqRetries = set.rqRetries();
+  if constexpr (HasShardSched<Set>) {
+    if (cfg.latency) r.shardSchedP99Ns = set.shardSchedP99Ns();
+  }
   return r;
 }
 
@@ -761,6 +991,31 @@ inline void jsonAppendTrial(const std::string& experiment,
       static_cast<unsigned long long>(r.rqKeys), r.nsPerOp, r.cyclesPerOp,
       static_cast<unsigned long long>(r.footprintBytes), r.elapsedSec,
       r.drainSec, r.keysumOk ? "true" : "false");
+  // Admission / goodput columns (docs/BENCHMARKING.md, "Overload and
+  // goodput"). ops_admitted == total_ops by construction; it is emitted
+  // explicitly so the identity ops_offered == ops_admitted + ops_shed +
+  // ops_rejected can be checked row-by-row without schema knowledge.
+  std::fprintf(
+      f,
+      ",\"qdepth\":%d,\"deadline_ns\":%lld,\"flush_deadline_ns\":%lld,"
+      "\"ops_offered\":%llu,\"ops_admitted\":%llu,\"ops_shed\":%llu,"
+      "\"ops_rejected\":%llu,\"goodput_mops\":%.4f,"
+      "\"deadline_flushes\":%llu,\"full_flushes\":%llu,\"rq_retries\":%llu",
+      cfg.arrival.qdepth, static_cast<long long>(cfg.arrival.deadlineNs),
+      static_cast<long long>(cfg.flushDeadlineNs),
+      static_cast<unsigned long long>(r.opsOffered),
+      static_cast<unsigned long long>(r.totalOps),
+      static_cast<unsigned long long>(r.opsShed),
+      static_cast<unsigned long long>(r.opsRejected), r.goodputMops,
+      static_cast<unsigned long long>(r.deadlineFlushes),
+      static_cast<unsigned long long>(r.fullFlushes),
+      static_cast<unsigned long long>(r.rqRetries));
+  if (!r.shardSchedP99Ns.empty()) {
+    std::fprintf(f, ",\"shard_sched_p99_ns\":[");
+    for (std::size_t i = 0; i < r.shardSchedP99Ns.size(); ++i)
+      std::fprintf(f, "%s%.1f", i == 0 ? "" : ",", r.shardSchedP99Ns[i]);
+    std::fprintf(f, "]");
+  }
   if (r.lat.valid) {
     // Overall op quantiles at the top level (what bench_compare.py gates),
     // the open-loop queueing-delay p99 beside them, and the per-category

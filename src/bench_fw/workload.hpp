@@ -132,6 +132,17 @@ inline bool parseDouble(const std::string& s, double* out) {
   return true;
 }
 
+/// strtoll with full-string validation (decimal, no sign games beyond what
+/// strtoll accepts; rejects trailing junk and empty input).
+inline bool parseInt64(const std::string& s, std::int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
 }  // namespace detail
 
 inline bool DistSpec::parse(const std::string& s, DistSpec* out) {
@@ -408,28 +419,55 @@ inline bool findMix(const std::string& name, MixSpec* out) {
 struct ArrivalSpec {
   bool open = false;      // false = closed loop
   double ratePerSec = 0;  // total target throughput across all threads
+  /// Admission-queue bound, per worker thread: arrivals finding the queue at
+  /// this depth are REJECTED (counted, never executed). 0 = unbounded queue
+  /// (the pre-admission open loop). Only meaningful when open.
+  int qdepth = 0;
+  /// Queue-wait deadline in nanoseconds: an admitted-queue op whose wait
+  /// (dequeue time minus scheduled arrival) exceeds this is SHED before
+  /// execution. 0 = never shed. Only meaningful when open.
+  std::int64_t deadlineNs = 0;
 
-  /// Canonical text form: "closed" or "poisson:<rate>"; round-trips through
+  /// Canonical text form: "closed" or
+  /// "poisson:<rate>[:q<qdepth>][:d<deadlineNs>]"; round-trips through
   /// parse() like DistSpec::label().
   std::string label() const {
     if (!open) return "closed";
     char b[48];
     const auto res = std::to_chars(b, b + sizeof b, ratePerSec);
-    return "poisson:" + std::string(b, res.ptr);
+    std::string s = "poisson:" + std::string(b, res.ptr);
+    if (qdepth > 0) s += ":q" + std::to_string(qdepth);
+    if (deadlineNs > 0) s += ":d" + std::to_string(deadlineNs);
+    return s;
   }
 
-  /// Parse "closed" | "poisson:<opsPerSec>" (rate finite and > 0). Returns
-  /// false (leaving *out untouched) on malformed input.
+  /// Parse "closed" | "poisson:<opsPerSec>[:q<qdepth>][:d<deadlineNs>]"
+  /// (rate finite and > 0; qdepth and deadline positive integers, each at
+  /// most once). Returns false (leaving *out untouched) on malformed input.
   static bool parse(const std::string& s, ArrivalSpec* out) {
     const std::vector<std::string> f = detail::splitColons(s);
     ArrivalSpec spec;
     if (f[0] == "closed") {
       if (f.size() != 1) return false;
     } else if (f[0] == "poisson") {
-      if (f.size() != 2) return false;
+      if (f.size() < 2) return false;
       spec.open = true;
       if (!detail::parseDouble(f[1], &spec.ratePerSec)) return false;
       if (spec.ratePerSec <= 0.0) return false;
+      for (std::size_t i = 2; i < f.size(); ++i) {
+        if (f[i].size() < 2) return false;
+        std::int64_t v = 0;
+        if (!detail::parseInt64(f[i].substr(1), &v) || v <= 0) return false;
+        if (f[i][0] == 'q') {
+          if (spec.qdepth != 0 || v > INT32_MAX) return false;
+          spec.qdepth = static_cast<int>(v);
+        } else if (f[i][0] == 'd') {
+          if (spec.deadlineNs != 0) return false;
+          spec.deadlineNs = v;
+        } else {
+          return false;
+        }
+      }
     } else {
       return false;
     }

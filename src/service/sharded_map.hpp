@@ -84,6 +84,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_fw/latency.hpp"
 #include "kcas/domain.hpp"
 #include "recl/domain_set.hpp"
 #include "service/topology.hpp"
@@ -91,6 +92,7 @@
 #include "util/defs.hpp"
 #include "util/padding.hpp"
 #include "util/thread_registry.hpp"
+#include "util/timing.hpp"
 
 namespace pathcas::service {
 
@@ -115,6 +117,12 @@ class ShardedMap {
     /// The PATHCAS_COMBINE_WINDOW environment variable, when set,
     /// overrides this value.
     int combineWindow = 0;
+    /// Record per-shard combiner queueing (deposit → completion) into a
+    /// per-shard histogram, read back via shardSchedP99Ns(): combiner
+    /// queueing becomes attributable shard-by-shard instead of vanishing
+    /// into aggregate op latency. Off by default — a recorded op pays two
+    /// rdtsc reads. Only meaningful when combining.
+    bool combineStats = false;
   };
 
   /// Hard cap on ops merged into one combined window (bounds the combiner's
@@ -266,7 +274,15 @@ class ShardedMap {
 
     std::vector<std::vector<std::pair<k::AtomicWord*, k::word_t>>> caps(
         static_cast<std::size_t>(s1 - s0 + 1));
-    Backoff backoff;
+    // Capped decorrelated-jitter backoff between whole-window retries: two
+    // scanners invalidated by the same churn do not re-collide in lockstep
+    // (deterministic exponential schedules can), and the retry count is
+    // surfaced (rqRetries) so livelock under churn is observable instead of
+    // silent spinning.
+    JitterBackoff backoff(
+        static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this)) ^
+        (static_cast<std::uint64_t>(ThreadRegistry::tid() + 1) << 32) ^
+        static_cast<std::uint64_t>(lo));
     for (;;) {
       // Phase 1: per-shard validated scans, ascending (results concatenate
       // in key order), capturing each scan's visited set.
@@ -299,8 +315,16 @@ class ShardedMap {
       }
       out.resize(base);
       for (auto& c : caps) c.clear();
+      rqRetries_.fetch_add(1, std::memory_order_relaxed);
       backoff.pause();
     }
+  }
+
+  /// Cross-shard range-query retries (phase-1 validation failures plus
+  /// phase-2 mismatches) since construction. Relaxed counter: exact when
+  /// read quiescent, monotone and approximately current under churn.
+  std::uint64_t rqRetries() const {
+    return rqRetries_.load(std::memory_order_relaxed);
   }
 
   // ----------------------------------------------------------------------
@@ -406,6 +430,25 @@ class ShardedMap {
     return sh.tree->checkInvariants();
   }
 
+  /// Per-shard combiner-queueing p99 in calibrated nanoseconds, index =
+  /// shard id (quiescent; the histograms are written under the combiner
+  /// locks). Empty unless combining with Config::combineStats — the bench
+  /// driver's HasShardSched concept skips the JSON column on empty.
+  std::vector<double> shardSchedP99Ns() const {
+    std::vector<double> out;
+    if (!combining() || !config_.combineStats) return out;
+    out.reserve(static_cast<std::size_t>(nshards_));
+    const double nsPerTick = TscCal::nsPerTick();
+    for (const auto& sh : shards_)
+      out.push_back(sh->combineWait.quantile(0.99) * nsPerTick);
+    return out;
+  }
+
+  /// Number of combined ops recorded against shard s (quiescent).
+  std::uint64_t shardSchedCount(int s) const {
+    return shards_[static_cast<std::size_t>(s)]->combineWait.count();
+  }
+
   /// Per-shard structural invariants PLUS the partition invariant: every
   /// key found in shard s must have shardOf(key) == s.
   void checkInvariants() const {
@@ -461,6 +504,10 @@ class ShardedMap {
     K key{};
     V val{};
     bool result = false;
+    /// rdtsc at deposit (written by the owner before the kPending store, so
+    /// the kPending acquire-load makes it visible to the combiner). Only
+    /// stamped when Config::combineStats is on.
+    std::uint64_t depositTicks = 0;
   };
 
   struct Shard {
@@ -476,6 +523,10 @@ class ShardedMap {
     /// Combining state; `slots` is allocated only when the map combines.
     std::atomic<bool> combinerLock{false};
     std::unique_ptr<Padded<OpSlot>[]> slots;
+    /// Deposit-to-completion ticks of every combined op served by this
+    /// shard (Config::combineStats). Written only under the combiner lock;
+    /// read quiescent via shardSchedP99Ns()/shardSchedCount().
+    bench::LatencyHistogram combineWait;
   };
 
   /// Scoped hold of a shard's combiner lock — a no-op when combining is
@@ -510,6 +561,7 @@ class ShardedMap {
     my.op = op;
     my.key = key;
     my.val = val;
+    if (config_.combineStats) my.depositTicks = rdtsc();
     my.state.store(OpSlot::kPending, std::memory_order_release);
     Backoff backoff;
     for (;;) {
@@ -543,6 +595,12 @@ class ShardedMap {
         ops[n++] = &slot;
     }
     if (n == 0) return;
+    // Snapshot deposit stamps BEFORE committing: after an op's kDone store
+    // its owner may reset and reuse the slot, so slot fields are unsafe to
+    // read once results are published.
+    std::uint64_t deposits[kMaxCombine];
+    if (config_.combineStats)
+      for (int i = 0; i < n; ++i) deposits[i] = ops[i]->depositTicks;
     k::ScopedDomain scope(sh.set->kcas());
     if (n == 1) {
       // Low contention: direct per-op commit (the k=1 fast path), no
@@ -551,9 +609,15 @@ class ShardedMap {
       s.result = (s.op == OpSlot::kInsert) ? sh.tree->insert(s.key, s.val)
                                            : sh.tree->erase(s.key);
       s.state.store(OpSlot::kDone, std::memory_order_release);
-      return;
+    } else {
+      combineOps(sh, ops, n);
     }
-    combineOps(sh, ops, n);
+    if (config_.combineStats) {
+      // Still under the combiner lock, so the histogram needs no atomics.
+      const std::uint64_t now = rdtsc();
+      for (int i = 0; i < n; ++i)
+        sh.combineWait.record(now >= deposits[i] ? now - deposits[i] : 0);
+    }
   }
 
   /// Merge a gathered window: group by key, collapse duplicates, annihilate
@@ -693,6 +757,8 @@ class ShardedMap {
   int nshards_;
   K keySpace_;
   int combineWindow_ = 0;
+  /// Cross-shard range-query whole-window retries (rqRetries()).
+  std::atomic<std::uint64_t> rqRetries_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

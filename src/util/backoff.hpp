@@ -36,4 +36,39 @@ class Backoff {
   std::uint32_t cur_, min_, max_;
 };
 
+/// Capped decorrelated-jitter backoff (the AWS "decorrelated jitter"
+/// schedule): each pause spins a uniform draw from [base, min(cap, 3*prev)],
+/// where prev is the previous draw. Unlike deterministic exponential
+/// backoff, two threads that collided once do not retry in lockstep forever
+/// — the jitter decorrelates their schedules — while the hard cap keeps the
+/// worst-case pause bounded. The RNG is a self-contained xorshift64* seeded
+/// by the caller (address, tid, ...), so no global state and no libc rand.
+class JitterBackoff {
+ public:
+  explicit JitterBackoff(std::uint64_t seed, std::uint32_t baseSpins = 16,
+                         std::uint32_t capSpins = 4096)
+      : base_(baseSpins > 0 ? baseSpins : 1),
+        cap_(capSpins > base_ ? capSpins : base_),
+        prev_(base_),
+        state_(seed | 1) {}  // xorshift state must be nonzero
+
+  void pause() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t r = state_ * 0x2545f4914f6cdd1dULL;
+    const std::uint64_t hi =
+        std::uint64_t{prev_} * 3 < cap_ ? std::uint64_t{prev_} * 3 : cap_;
+    const std::uint64_t span = hi > base_ ? hi - base_ + 1 : 1;
+    prev_ = static_cast<std::uint32_t>(base_ + r % span);
+    for (std::uint32_t i = 0; i < prev_; ++i) cpuRelax();
+  }
+
+  void reset() { prev_ = base_; }
+
+ private:
+  std::uint32_t base_, cap_, prev_;
+  std::uint64_t state_;
+};
+
 }  // namespace pathcas
